@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Regenerates Fig. 6: the Spectre-PHT and SiSCloak counterexamples,
+ * as relational experiments (the framework's view) and as end-to-end
+ * Flush+Reload attacks recovering every secret value (the attacker's
+ * view, Section 6.4).
+ */
+
+#include <cstdio>
+
+#include "bir/asm.hh"
+#include "harness/flush_reload.hh"
+#include "harness/platform.hh"
+
+using namespace scamv;
+
+namespace {
+
+constexpr std::uint64_t kArrayA = 0x80000;
+constexpr std::uint64_t kArrayB = 0x90000;
+
+bir::Program
+variant1()
+{
+    return bir::assemble("ldr x2, [x5, x0]\n"
+                         "b.geu x0, x1, end\n"
+                         "ldr x3, [x6, x2]\n"
+                         "end: ret\n",
+                         "fig6-variant1")
+        .program;
+}
+
+bir::Program
+variant2()
+{
+    return bir::assemble("ldr x2, [x5, x0]\n"
+                         "and x4, x2, #0x80000000\n"
+                         "b.ne x4, #0, end\n"
+                         "ldr x3, [x6, x2]\n"
+                         "end: ret\n",
+                         "fig6-variant2")
+        .program;
+}
+
+bir::Program
+spectrePht()
+{
+    // The original Spectre-PHT gadget: both loads inside the branch.
+    return bir::assemble("b.geu x0, x1, end\n"
+                         "ldr x2, [x5, x0]\n"
+                         "ldr x3, [x6, x2]\n"
+                         "end: ret\n",
+                         "fig6-spectre-pht")
+        .program;
+}
+
+/** Relational experiment: do two secrets yield distinct cache states? */
+harness::Verdict
+relationalVerdict(const bir::Program &p)
+{
+    harness::Platform platform(harness::PlatformConfig{});
+    auto mk = [&](std::uint64_t secret) {
+        harness::ProgramInput in;
+        in.regs.regs[5] = kArrayA;
+        in.regs.regs[6] = kArrayB;
+        in.regs.regs[0] = 512;
+        in.regs.regs[1] = 256;
+        in.mem = {{kArrayA + 512, secret * 64}};
+        return in;
+    };
+    harness::TestCase tc;
+    tc.s1 = mk(3);
+    tc.s2 = mk(9);
+    harness::ProgramInput train;
+    train.regs.regs[5] = kArrayA;
+    train.regs.regs[6] = kArrayB;
+    train.regs.regs[0] = 8;
+    train.regs.regs[1] = 256;
+    train.mem = {{kArrayA + 8, 0}};
+    return platform.runExperiment(p, tc, train).verdict;
+}
+
+/** Full attack success rate over all 64 one-line secrets. */
+int
+attackSweep(const bir::Program &p, bool cloaked)
+{
+    int recovered = 0;
+    for (std::uint64_t secret = 0; secret < 64; ++secret) {
+        hw::Core core;
+        const std::uint64_t stored =
+            cloaked ? (0x80000000ULL | (secret * 64)) : secret * 64;
+        core.memory().store(kArrayA + (cloaked ? 64 : 512), stored);
+
+        hw::ArchState st;
+        st.regs[5] = kArrayA;
+        st.regs[6] = kArrayB;
+        st.regs[1] = 256;
+        for (int i = 0; i < 4; ++i) {
+            st.regs[0] = 8 * i;
+            core.memory().store(kArrayA + 8 * i, 0);
+            core.run(p, st);
+        }
+        const std::uint64_t probe_base =
+            cloaked ? kArrayB + 0x80000000ULL : kArrayB;
+        harness::FlushReloadAttacker attacker(probe_base, 64);
+        attacker.flush(core);
+        st.regs[0] = cloaked ? 64 : 512;
+        core.run(p, st);
+        auto hot = attacker.hotLines(core);
+        recovered += hot.size() == 1 &&
+                     hot[0] == static_cast<int>(secret);
+    }
+    return recovered;
+}
+
+const char *
+verdictName(harness::Verdict v)
+{
+    switch (v) {
+      case harness::Verdict::Counterexample: return "COUNTEREXAMPLE";
+      case harness::Verdict::Indistinguishable:
+        return "indistinguishable";
+      case harness::Verdict::Inconclusive: return "inconclusive";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 6: Spectre-PHT and SiSCloak counterexamples "
+                "===\n\n");
+
+    std::printf("Relational experiments (Mct-equivalent states, "
+                "trained predictor):\n");
+    std::printf("  variant 1 (hoisted load):        %s\n",
+                verdictName(relationalVerdict(variant1())));
+    std::printf("  variant 2 (cloaking bit):        %s\n",
+                verdictName(relationalVerdict(variant2())));
+    std::printf("  original Spectre-PHT (dependent): %s\n",
+                verdictName(relationalVerdict(spectrePht())));
+
+    std::printf("\nEnd-to-end Flush+Reload secret recovery "
+                "(64 secrets each):\n");
+    std::printf("  variant 1: %d/64 recovered\n",
+                attackSweep(variant1(), false));
+    std::printf("  variant 2: %d/64 recovered\n",
+                attackSweep(variant2(), true));
+    std::printf("  Spectre-PHT: %d/64 recovered (A53 claim: 0)\n",
+                attackSweep(spectrePht(), false));
+
+    std::printf("\nExpected shape: both SiSCloak variants are "
+                "counterexamples with full\nsecret recovery; the "
+                "dependent-load Spectre-PHT gadget does not leak on\n"
+                "the A53 core model (no forwarding of speculative "
+                "results).\n");
+    return 0;
+}

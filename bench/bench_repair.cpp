@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Automatic model repair demo (Section 8 future work): for each
+ * evaluation scenario, walk the more-restrictiveness lattice until a
+ * candidate model validates without counterexamples, and report the
+ * lattice path and per-candidate statistics.
+ *
+ * Expected repairs on the A53 core model:
+ *   Mct   / Template A  -> Mspec1 (one transient load is everything)
+ *   Mct   / Template C  -> Mspec1 (dependent loads never issue)
+ *   Mct   / Template B  -> Mspec  (independent loads need full obs)
+ *   Mpart / Stride      -> Mpart' (observe all access lines)
+ */
+
+#include <cstdio>
+
+#include "core/repair.hh"
+
+using namespace scamv;
+using core::RepairConfig;
+
+namespace {
+
+void
+report(const char *scenario, const core::RepairResult &r)
+{
+    std::printf("%s: %s", scenario, obs::modelName(r.original));
+    for (std::size_t i = 1; i < r.attempts.size(); ++i)
+        std::printf(" -> %s", obs::modelName(r.attempts[i].model));
+    if (r.repaired)
+        std::printf("   [repaired: %s]\n", obs::modelName(*r.repaired));
+    else
+        std::printf("   [no sound candidate in lattice]\n");
+    for (const auto &a : r.attempts) {
+        std::printf("    %-7s %-9s cex=%5ld / %5ld experiments%s\n",
+                    obs::modelName(a.model),
+                    a.sound ? "sound" : "unsound",
+                    a.stats.counterexamples, a.stats.experiments,
+                    a.vacuous ? " (vacuous: refinement adds nothing)"
+                              : "");
+    }
+}
+
+RepairConfig
+config(gen::TemplateKind kind, bool train, double scale)
+{
+    RepairConfig cfg;
+    cfg.campaign.templateKind = kind;
+    cfg.campaign.train = train;
+    cfg.campaign.programs = core::scaled(60, scale);
+    cfg.campaign.testsPerProgram = 20;
+    cfg.campaign.seed = 808;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = core::scaleFromEnv(1.0);
+    std::printf("=== Automatic model repair (Section 8 future work) "
+                "[SCAMV_SCALE=%.2f] ===\n\n", scale);
+
+    report("Mct / Template A",
+           core::repairModel(obs::ModelKind::Mct,
+                             config(gen::TemplateKind::A, true, scale)));
+    report("Mct / Template C",
+           core::repairModel(obs::ModelKind::Mct,
+                             config(gen::TemplateKind::C, true, scale)));
+    report("Mct / Template B",
+           core::repairModel(obs::ModelKind::Mct,
+                             config(gen::TemplateKind::B, true, scale)));
+
+    RepairConfig mpart = config(gen::TemplateKind::Stride, false, scale);
+    mpart.campaign.coverage = core::Coverage::PcAndLine;
+    mpart.campaign.modelParams.attacker.loSet = 61;
+    mpart.campaign.platform.visibleLoSet = 61;
+    mpart.campaign.platform.visibleHiSet = 127;
+    report("Mpart / Stride",
+           core::repairModel(obs::ModelKind::Mpart, mpart));
+
+    std::printf("\nReading: the repairer recovers exactly the scope "
+                "results of Section 6.5 —\nobserving the first "
+                "transient load suffices unless transient loads are\n"
+                "independent, and cache colouring needs line "
+                "observations everywhere.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cache-partitioning (cache colouring) vs. prefetching demo
+ * (Sections 4.2.1 and 6.2).
+ *
+ * Shows concretely why the Mpart observational model is unsound on a
+ * core with a stride prefetcher: two states that access only
+ * attacker-invisible cache sets (and are therefore observationally
+ * equivalent under Mpart) leave different footprints *inside* the
+ * attacker's cache partition, because one of them strides close
+ * enough to the colour boundary that the prefetcher crosses it.
+ * Repeating the experiment with a page-aligned partition shows the
+ * leak disappear: the A53 prefetcher does not cross 4 KiB pages.
+ *
+ * Build & run:  ./build/examples/cache_partitioning
+ */
+
+#include <cstdio>
+
+#include "bir/asm.hh"
+#include "harness/platform.hh"
+
+using namespace scamv;
+
+namespace {
+
+harness::ProgramInput
+strideInput(std::uint64_t base)
+{
+    harness::ProgramInput in;
+    in.regs.regs[0] = base;
+    return in;
+}
+
+void
+runPartitionExperiment(std::uint64_t ar_lo_set, const char *label)
+{
+    // A stride of three loads, one cache line apart (the Stride
+    // template of Fig. 5).
+    auto p = bir::assemble("ldr x1, [x0]\n"
+                           "ldr x2, [x0, #64]\n"
+                           "ldr x3, [x0, #128]\n"
+                           "ret\n",
+                           "stride");
+
+    harness::PlatformConfig cfg;
+    cfg.visibleLoSet = ar_lo_set; // attacker-visible partition
+    cfg.visibleHiSet = 127;
+    harness::Platform platform(cfg);
+
+    const std::uint64_t region = 0x80000; // page- and set-aligned
+
+    // s1 strides up to the set just below the colour boundary; the
+    // prefetched next line falls on the boundary set itself.
+    harness::TestCase tc;
+    tc.s1 = strideInput(region + (ar_lo_set - 3) * 64);
+    // s2 strides far from the boundary.
+    tc.s2 = strideInput(region + 10 * 64);
+
+    auto r = platform.runExperiment(p.program, tc);
+    std::printf("%-22s AR = sets %3lu..127   verdict: %s\n", label,
+                ar_lo_set,
+                r.verdict == harness::Verdict::Counterexample
+                    ? "COUNTEREXAMPLE — colouring broken by prefetch"
+                    : "indistinguishable — colouring holds");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Cache colouring vs. the stride prefetcher "
+                "(Section 6.2)\n\n");
+    std::printf("Both test states only touch sets *outside* the "
+                "attacker partition,\nso the cache-partitioning model "
+                "Mpart deems them equivalent.\n\n");
+
+    // Paper configuration 1: AR = sets 61..127 (not page aligned).
+    runPartitionExperiment(61, "unaligned partition:");
+
+    // Paper configuration 2: AR = sets 64..127 (page aligned) — the
+    // prefetcher stops at the 4 KiB boundary, so nothing spills.
+    runPartitionExperiment(64, "page-aligned partition:");
+
+    std::printf("\nConclusion (matches Table 1): cache colouring is "
+                "unsound against a\nstride prefetcher unless the "
+                "partition is page aligned.\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * SiSCloak attack demonstration (Section 6.4, Fig. 6).
+ *
+ * Mounts the real attack the paper reports against Cortex-A53: a
+ * *single* speculative load leaks through the data cache even though
+ * the core never forwards speculative results.  Both Fig. 6 gadgets
+ * are demonstrated, with full secret recovery via Flush+Reload and the
+ * PMC cycle counter.
+ *
+ * Build & run:  ./build/examples/siscloak_attack
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bir/asm.hh"
+#include "harness/flush_reload.hh"
+#include "hw/core.hh"
+
+using namespace scamv;
+
+namespace {
+
+constexpr std::uint64_t kArrayA = 0x80000; // victim array A
+constexpr std::uint64_t kArrayB = 0x90000; // shared probe array B
+
+/** Recover one secret byte with the Fig. 6 variant-1 gadget. */
+std::uint64_t
+attackVariant1(std::uint64_t secret_line)
+{
+    // ldr x2, [#A + x0]; if (x0 < bound) ldr x3, [#B + x2]
+    auto gadget = bir::assemble("ldr x2, [x5, x0]\n"
+                                "b.geu x0, x1, end\n"
+                                "ldr x3, [x6, x2]\n"
+                                "end: ret\n",
+                                "siscloak-v1");
+    hw::Core core;
+    // The "secret" lives out of bounds, beyond A's 256-byte extent.
+    core.memory().store(kArrayA + 512, secret_line * 64);
+
+    hw::ArchState st;
+    st.regs[5] = kArrayA;
+    st.regs[6] = kArrayB;
+    st.regs[1] = 256; // bound
+
+    // Phase 1: train the bounds check with in-bounds indices.
+    for (int i = 0; i < 4; ++i) {
+        st.regs[0] = 8 * i;
+        core.memory().store(kArrayA + 8 * i, 0);
+        core.run(gadget.program, st);
+    }
+
+    // Phase 2: Flush+Reload around the malicious access.
+    harness::FlushReloadAttacker attacker(kArrayB, 64);
+    attacker.flush(core);
+    st.regs[0] = 512; // out of bounds -> misprediction -> leak
+    core.run(gadget.program, st);
+    auto hot = attacker.hotLines(core);
+    return hot.size() == 1 ? static_cast<std::uint64_t>(hot[0])
+                           : UINT64_MAX;
+}
+
+/** Recover a classified element with the Fig. 6 variant-2 gadget. */
+std::uint64_t
+attackVariant2(std::uint64_t secret_value)
+{
+    // The high bit of A[i] classifies the element as secret; the
+    // branch guards the B access, but the classification check itself
+    // is predicted.
+    auto gadget = bir::assemble("ldr x2, [x5, x0]\n"
+                                "and x4, x2, #0x80000000\n"
+                                "b.ne x4, #0, end\n"
+                                "ldr x3, [x6, x2]\n"
+                                "end: ret\n",
+                                "siscloak-v2");
+    hw::Core core;
+    core.memory().store(kArrayA + 64,
+                        0x80000000ULL | (secret_value * 64));
+
+    hw::ArchState st;
+    st.regs[5] = kArrayA;
+    st.regs[6] = kArrayB;
+
+    // Train with public (high-bit-clear) elements.
+    for (int i = 0; i < 4; ++i) {
+        st.regs[0] = 8 * i;
+        core.memory().store(kArrayA + 8 * i, 0);
+        core.run(gadget.program, st);
+    }
+
+    // Probe the B-relative window the cloaked address lands in.
+    harness::FlushReloadAttacker attacker(kArrayB + 0x80000000ULL, 64);
+    attacker.flush(core);
+    st.regs[0] = 64; // index of the classified element
+    core.run(gadget.program, st);
+    auto hot = attacker.hotLines(core);
+    return hot.size() == 1 ? static_cast<std::uint64_t>(hot[0])
+                           : UINT64_MAX;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("SiSCloak: SIngle SpeCulative LOad AttacK "
+                "(MICRO'21, Section 6.4)\n\n");
+
+    std::printf("Variant 1: hoisted load + predicted bounds check\n");
+    bool ok1 = true;
+    for (std::uint64_t secret : {3ULL, 13ULL, 42ULL, 63ULL}) {
+        const std::uint64_t recovered = attackVariant1(secret);
+        std::printf("  secret=%2lu  recovered=%2lu  %s\n", secret,
+                    recovered, recovered == secret ? "OK" : "FAIL");
+        ok1 = ok1 && recovered == secret;
+    }
+
+    std::printf("\nVariant 2: classification-bit cloaking\n");
+    bool ok2 = true;
+    for (std::uint64_t secret : {1ULL, 21ULL, 40ULL, 55ULL}) {
+        const std::uint64_t recovered = attackVariant2(secret);
+        std::printf("  secret=%2lu  recovered=%2lu  %s\n", secret,
+                    recovered, recovered == secret ? "OK" : "FAIL");
+        ok2 = ok2 && recovered == secret;
+    }
+
+    std::printf("\nClassic Spectre-PHT (dependent loads) for contrast: "
+                "the A53 core\nnever forwards a speculative result, so "
+                "the second load is blocked\nand nothing leaks — "
+                "matching ARM's (partially correct) claim.\n");
+
+    return ok1 && ok2 ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Model-validation campaign demo: the public Pipeline API end-to-end.
+ *
+ * Runs four miniature validation campaigns (a scaled-down slice of
+ * Table 1 / Fig. 7) and prints them in the paper's table layout:
+ *
+ *   1. Mct on Template A, no refinement   (finds ~nothing)
+ *   2. Mct on Template A, Mspec refined   (finds SiSCloak leaks)
+ *   3. Mspec1 on Template C, Mspec refined (sound: dependent loads)
+ *   4. Mct on Template D, Mspec' refined  (sound: no straight-line
+ *      speculation on direct branches)
+ *
+ * Build & run:  ./build/examples/validate_models
+ */
+
+#include <cstdio>
+
+#include "core/expdb.hh"
+#include "core/pipeline.hh"
+#include "core/report.hh"
+
+using namespace scamv;
+using core::PipelineConfig;
+
+namespace {
+
+PipelineConfig
+base()
+{
+    PipelineConfig cfg;
+    cfg.programs = 10;
+    cfg.testsPerProgram = 10;
+    cfg.seed = 2021;
+    cfg.train = true;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<core::ColumnMeta> metas;
+    std::vector<core::RunStats> stats;
+
+    {
+        PipelineConfig cfg = base();
+        cfg.templateKind = gen::TemplateKind::A;
+        cfg.model = obs::ModelKind::Mct;
+        metas.push_back({"Mct", "Template A", "No", "Mpc"});
+        stats.push_back(core::Pipeline(cfg).run());
+    }
+    core::ExperimentDb db;
+    {
+        PipelineConfig cfg = base();
+        cfg.templateKind = gen::TemplateKind::A;
+        cfg.model = obs::ModelKind::Mct;
+        cfg.refinement = obs::ModelKind::Mspec;
+        cfg.database = &db; // log every experiment for inspection
+        metas.push_back({"Mct", "Template A", "Mspec", "Mpc"});
+        stats.push_back(core::Pipeline(cfg).run());
+    }
+    {
+        PipelineConfig cfg = base();
+        cfg.templateKind = gen::TemplateKind::C;
+        cfg.model = obs::ModelKind::Mspec1;
+        cfg.refinement = obs::ModelKind::Mspec;
+        metas.push_back({"Mspec1", "Template C", "Mspec", "Mpc"});
+        stats.push_back(core::Pipeline(cfg).run());
+    }
+    {
+        PipelineConfig cfg = base();
+        cfg.templateKind = gen::TemplateKind::D;
+        cfg.model = obs::ModelKind::Mct;
+        cfg.refinement = obs::ModelKind::Mspec;
+        cfg.rewriteJumps = true; // Mspec'
+        cfg.train = false;       // no conditional branches
+        metas.push_back({"Mct", "Template D", "Mspec'", "Mpc"});
+        stats.push_back(core::Pipeline(cfg).run());
+    }
+
+    std::printf("%s\n",
+                core::renderCampaignTable(metas, stats).render().c_str());
+
+    std::printf("Experiment log (campaign 2): %s\n",
+                db.summary().c_str());
+    if (!db.counterexamples().empty()) {
+        const auto *cex = db.counterexamples().front();
+        std::printf("First counterexample (program %s, path %s):\n%s",
+                    cex->programName.c_str(), cex->pathId.c_str(),
+                    cex->programText.c_str());
+    }
+
+    std::printf("\nReading: refinement turns Template A from ~0 to many "
+                "counterexamples\n(SiSCloak); Mspec1 is sound for "
+                "dependent loads (Template C); direct\njumps do not "
+                "speculate straight-line (Template D).\n");
+    return 0;
+}

@@ -1,0 +1,321 @@
+#include "bir/asm.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace scamv::bir {
+
+namespace {
+
+/** Minimal recursive-descent tokenizer over one line. */
+class LineParser
+{
+  public:
+    explicit LineParser(const std::string &line) : s(line) {}
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() && std::isspace(static_cast<unsigned char>(
+                                     s[pos])))
+            ++pos;
+    }
+
+    bool
+    eof()
+    {
+        skipWs();
+        return pos >= s.size();
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    /** Read an identifier-like word ([A-Za-z_.][A-Za-z0-9_.]*). */
+    std::string
+    word()
+    {
+        skipWs();
+        std::size_t start = pos;
+        while (pos < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '_' || s[pos] == '.'))
+            ++pos;
+        return s.substr(start, pos - start);
+    }
+
+    /** Parse a register "xN". @return register or nullopt. */
+    std::optional<Reg>
+    reg()
+    {
+        skipWs();
+        std::size_t save = pos;
+        std::string w = word();
+        if (w.size() >= 2 && (w[0] == 'x' || w[0] == 'X')) {
+            char *end = nullptr;
+            long v = std::strtol(w.c_str() + 1, &end, 10);
+            if (end && *end == '\0' && v >= 0 && v < kNumRegs)
+                return static_cast<Reg>(v);
+        }
+        pos = save;
+        return std::nullopt;
+    }
+
+    /** Parse "#imm" with decimal or 0x hex. */
+    std::optional<std::uint64_t>
+    imm()
+    {
+        skipWs();
+        std::size_t save = pos;
+        if (!eat('#')) {
+            pos = save;
+            return std::nullopt;
+        }
+        skipWs();
+        bool negate = false;
+        if (pos < s.size() && s[pos] == '-') {
+            negate = true;
+            ++pos;
+        }
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos]))) {
+            pos = save;
+            return std::nullopt;
+        }
+        char *end = nullptr;
+        std::uint64_t v = std::strtoull(s.c_str() + pos, &end, 0);
+        pos = end - s.c_str();
+        return negate ? (~v + 1) : v;
+    }
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+std::optional<CmpOp>
+parseCmp(const std::string &suffix)
+{
+    if (suffix == "eq") return CmpOp::Eq;
+    if (suffix == "ne") return CmpOp::Ne;
+    if (suffix == "ltu") return CmpOp::Ult;
+    if (suffix == "leu") return CmpOp::Ule;
+    if (suffix == "gtu") return CmpOp::Ugt;
+    if (suffix == "geu") return CmpOp::Uge;
+    if (suffix == "lt") return CmpOp::Slt;
+    if (suffix == "le") return CmpOp::Sle;
+    if (suffix == "gt") return CmpOp::Sgt;
+    if (suffix == "ge") return CmpOp::Sge;
+    return std::nullopt;
+}
+
+std::optional<AluOp>
+parseAlu(const std::string &mnem)
+{
+    if (mnem == "add") return AluOp::Add;
+    if (mnem == "sub") return AluOp::Sub;
+    if (mnem == "and") return AluOp::And;
+    if (mnem == "orr") return AluOp::Orr;
+    if (mnem == "eor") return AluOp::Eor;
+    if (mnem == "lsl") return AluOp::Lsl;
+    if (mnem == "lsr") return AluOp::Lsr;
+    if (mnem == "asr") return AluOp::Asr;
+    if (mnem == "mul") return AluOp::Mul;
+    return std::nullopt;
+}
+
+std::string
+stripComment(const std::string &line)
+{
+    std::size_t c1 = line.find(';');
+    std::size_t c2 = line.find("//");
+    std::size_t cut = std::min(c1 == std::string::npos ? line.size() : c1,
+                               c2 == std::string::npos ? line.size() : c2);
+    return line.substr(0, cut);
+}
+
+} // namespace
+
+AsmResult
+assemble(const std::string &source, const std::string &name)
+{
+    AsmResult result;
+    result.program.setName(name);
+
+    struct Pending {
+        int instrIdx;
+        std::string label;
+        int line;
+    };
+    std::map<std::string, int> labels;
+    std::vector<Pending> fixups;
+
+    std::istringstream stream(source);
+    std::string raw;
+    int lineNo = 0;
+    auto fail = [&](const std::string &msg) {
+        std::ostringstream err;
+        err << "line " << lineNo << ": " << msg;
+        result.error = err.str();
+        return result;
+    };
+
+    while (std::getline(stream, raw)) {
+        ++lineNo;
+        std::string line = stripComment(raw);
+        LineParser p(line);
+        if (p.eof())
+            continue;
+
+        bool transient = false;
+        // Optional transient marker.
+        {
+            LineParser probe(line);
+            if (probe.eat('@')) {
+                std::string t = probe.word();
+                if (t == "t") {
+                    transient = true;
+                    line = line.substr(line.find("@t") + 2);
+                }
+            }
+        }
+        LineParser q(line);
+        if (q.eof())
+            continue;
+
+        std::string mnem = q.word();
+        if (mnem.empty())
+            return fail("cannot parse mnemonic");
+
+        // Label definition?
+        if (q.eat(':')) {
+            if (labels.count(mnem))
+                return fail("duplicate label '" + mnem + "'");
+            labels[mnem] = static_cast<int>(result.program.size());
+            if (q.eof())
+                continue;
+            mnem = q.word(); // instruction on the same line after label
+            if (mnem.empty())
+                return fail("cannot parse mnemonic after label");
+        }
+
+        Instr instr;
+        if (mnem == "ret") {
+            instr = Instr::halt();
+        } else if (mnem == "mov") {
+            auto rd = q.reg();
+            if (!rd || !q.eat(','))
+                return fail("mov: expected 'mov xD, #imm'");
+            auto v = q.imm();
+            if (!v)
+                return fail("mov: expected immediate");
+            instr = Instr::movImm(*rd, *v);
+        } else if (mnem == "ldr" || mnem == "str") {
+            auto rd = q.reg();
+            if (!rd || !q.eat(',') || !q.eat('['))
+                return fail(mnem + ": expected '" + mnem + " xD, [xN...'");
+            auto rn = q.reg();
+            if (!rn)
+                return fail(mnem + ": expected base register");
+            Instr i;
+            if (q.eat(',')) {
+                if (auto rm = q.reg()) {
+                    i = mnem == "ldr" ? Instr::load(*rd, *rn, *rm)
+                                      : Instr::store(*rd, *rn, *rm);
+                } else if (auto v = q.imm()) {
+                    i = mnem == "ldr" ? Instr::loadImm(*rd, *rn, *v)
+                                      : Instr::storeImm(*rd, *rn, *v);
+                } else {
+                    return fail(mnem + ": bad offset");
+                }
+            } else {
+                i = mnem == "ldr" ? Instr::loadImm(*rd, *rn, 0)
+                                  : Instr::storeImm(*rd, *rn, 0);
+            }
+            if (!q.eat(']'))
+                return fail(mnem + ": missing ']'");
+            instr = i;
+        } else if (mnem == "b") {
+            std::string lbl = q.word();
+            if (lbl.empty())
+                return fail("b: expected label");
+            instr = Instr::jump(-1);
+            fixups.push_back(
+                {static_cast<int>(result.program.size()), lbl, lineNo});
+        } else if (mnem.rfind("b.", 0) == 0) {
+            auto cmp = parseCmp(mnem.substr(2));
+            if (!cmp)
+                return fail("unknown condition '" + mnem + "'");
+            auto rn = q.reg();
+            if (!rn || !q.eat(','))
+                return fail("branch: expected first operand");
+            Instr i;
+            if (auto rm = q.reg()) {
+                i = Instr::branch(*cmp, *rn, *rm, -1);
+            } else if (auto v = q.imm()) {
+                i = Instr::branchImm(*cmp, *rn, *v, -1);
+            } else {
+                return fail("branch: bad second operand");
+            }
+            if (!q.eat(','))
+                return fail("branch: expected ', label'");
+            std::string lbl = q.word();
+            if (lbl.empty())
+                return fail("branch: expected label");
+            fixups.push_back(
+                {static_cast<int>(result.program.size()), lbl, lineNo});
+            instr = i;
+        } else if (auto alu = parseAlu(mnem)) {
+            auto rd = q.reg();
+            if (!rd || !q.eat(','))
+                return fail(mnem + ": expected destination");
+            auto rn = q.reg();
+            if (!rn || !q.eat(','))
+                return fail(mnem + ": expected first source");
+            if (auto rm = q.reg()) {
+                instr = Instr::alu(*alu, *rd, *rn, *rm);
+            } else if (auto v = q.imm()) {
+                instr = Instr::aluImm(*alu, *rd, *rn, *v);
+            } else {
+                return fail(mnem + ": bad second source");
+            }
+        } else {
+            return fail("unknown mnemonic '" + mnem + "'");
+        }
+
+        if (!q.eof())
+            return fail("trailing garbage");
+        instr.transient = transient;
+        result.program.push(instr);
+    }
+
+    for (const Pending &f : fixups) {
+        auto it = labels.find(f.label);
+        if (it == labels.end()) {
+            std::ostringstream err;
+            err << "line " << f.line << ": undefined label '" << f.label
+                << "'";
+            result.error = err.str();
+            return result;
+        }
+        result.program[f.instrIdx].target = it->second;
+    }
+
+    std::string v = result.program.validate();
+    if (!v.empty())
+        result.error = "validation: " + v;
+    return result;
+}
+
+} // namespace scamv::bir

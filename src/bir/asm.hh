@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Textual assembler for the BIR-like IR.
+ *
+ * This plays the role of the HolBA binary transpiler front-end in the
+ * original pipeline: it lets examples and tests define programs in a
+ * compact, ARM-flavoured syntax and round-trips with
+ * Program::toString().
+ *
+ * Grammar (one instruction per line, `;` or `//` comments):
+ *
+ *     label:                     ; any identifier followed by ':'
+ *     ldr xD, [xN]               ; load, zero offset
+ *     ldr xD, [xN, xM]           ; load, register offset
+ *     ldr xD, [xN, #imm]         ; load, immediate offset
+ *     str xD, [xN, ...]          ; store (same addressing forms)
+ *     add|sub|and|orr|eor|lsl|lsr|asr|mul xD, xN, xM|#imm
+ *     mov xD, #imm
+ *     b.eq|ne|lt|le|gt|ge|ltu|leu|gtu|geu xN, xM|#imm, label
+ *     b label                    ; unconditional direct jump
+ *     ret                        ; halt
+ *
+ * A leading `@t` marks a transient (shadow) instruction; the
+ * assembler accepts it so instrumented programs also round-trip.
+ */
+
+#ifndef SCAMV_BIR_ASM_HH
+#define SCAMV_BIR_ASM_HH
+
+#include <optional>
+#include <string>
+
+#include "bir/bir.hh"
+
+namespace scamv::bir {
+
+/** Result of assembling a source string. */
+struct AsmResult {
+    Program program;
+    std::string error; ///< empty on success, else "line N: message"
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Assemble source text into a Program. */
+AsmResult assemble(const std::string &source,
+                   const std::string &name = "asm");
+
+} // namespace scamv::bir
+
+#endif // SCAMV_BIR_ASM_HH

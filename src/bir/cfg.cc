@@ -1,0 +1,132 @@
+#include "bir/cfg.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace scamv::bir {
+
+Cfg::Cfg(const Program &p)
+{
+    nInstr = static_cast<int>(p.size());
+    SCAMV_ASSERT(nInstr > 0, "CFG of empty program");
+
+    std::set<int> leaders;
+    leaders.insert(0);
+    for (int i = 0; i < nInstr; ++i) {
+        const Instr &ins = p[i];
+        if (ins.kind == InstrKind::Branch || ins.kind == InstrKind::Jump) {
+            if (ins.target < nInstr)
+                leaders.insert(ins.target);
+            if (i + 1 < nInstr)
+                leaders.insert(i + 1);
+        }
+    }
+
+    std::vector<int> sorted(leaders.begin(), leaders.end());
+    for (std::size_t b = 0; b < sorted.size(); ++b) {
+        BasicBlock bb;
+        bb.first = sorted[b];
+        bb.last = (b + 1 < sorted.size() ? sorted[b + 1] : nInstr) - 1;
+        bbs.push_back(bb);
+    }
+
+    auto blockOfLeader = [&](int idx) {
+        auto it = std::lower_bound(sorted.begin(), sorted.end(), idx);
+        if (it == sorted.end() || *it != idx)
+            return -1;
+        return static_cast<int>(it - sorted.begin());
+    };
+
+    for (std::size_t b = 0; b < bbs.size(); ++b) {
+        const Instr &last = p[bbs[b].last];
+        switch (last.kind) {
+          case InstrKind::Branch:
+            if (last.target < nInstr)
+                bbs[b].succs.push_back(blockOfLeader(last.target));
+            if (bbs[b].last + 1 < nInstr)
+                bbs[b].succs.push_back(blockOfLeader(bbs[b].last + 1));
+            break;
+          case InstrKind::Jump:
+            if (last.target < nInstr)
+                bbs[b].succs.push_back(blockOfLeader(last.target));
+            break;
+          case InstrKind::Halt:
+            break;
+          default:
+            // Fallthrough into the next block.
+            if (bbs[b].last + 1 < nInstr)
+                bbs[b].succs.push_back(blockOfLeader(bbs[b].last + 1));
+            break;
+        }
+    }
+}
+
+int
+Cfg::blockAt(int idx) const
+{
+    for (std::size_t b = 0; b < bbs.size(); ++b)
+        if (idx >= bbs[b].first && idx <= bbs[b].last)
+            return static_cast<int>(b);
+    return -1;
+}
+
+int
+Cfg::blockStartingAt(int idx) const
+{
+    for (std::size_t b = 0; b < bbs.size(); ++b)
+        if (bbs[b].first == idx)
+            return static_cast<int>(b);
+    return -1;
+}
+
+bool
+Cfg::acyclic() const
+{
+    enum { White, Grey, Black };
+    std::vector<int> color(bbs.size(), White);
+    bool cycle = false;
+    std::function<void(int)> dfs = [&](int b) {
+        color[b] = Grey;
+        for (int s : bbs[b].succs) {
+            if (s < 0)
+                continue;
+            if (color[s] == Grey)
+                cycle = true;
+            else if (color[s] == White)
+                dfs(s);
+        }
+        color[b] = Black;
+    };
+    dfs(0);
+    return !cycle;
+}
+
+std::uint64_t
+Cfg::pathCount() const
+{
+    if (!acyclic())
+        return 0;
+    std::vector<std::uint64_t> memo(bbs.size(), 0);
+    std::vector<bool> done(bbs.size(), false);
+    std::function<std::uint64_t(int)> count = [&](int b) -> std::uint64_t {
+        if (done[b])
+            return memo[b];
+        done[b] = true;
+        if (bbs[b].succs.empty()) {
+            memo[b] = 1;
+            return 1;
+        }
+        std::uint64_t n = 0;
+        for (int s : bbs[b].succs)
+            if (s >= 0)
+                n += count(s);
+        memo[b] = n ? n : 1;
+        return memo[b];
+    };
+    return count(0);
+}
+
+} // namespace scamv::bir

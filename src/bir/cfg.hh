@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Control-flow graph over BIR programs.
+ *
+ * Used by the speculative instrumentation transform to find the
+ * mutually-exclusive branch blocks of Section 4.2.2, and by tests to
+ * check structural properties of generated programs.
+ */
+
+#ifndef SCAMV_BIR_CFG_HH
+#define SCAMV_BIR_CFG_HH
+
+#include <vector>
+
+#include "bir/bir.hh"
+
+namespace scamv::bir {
+
+/** A basic block: instructions [first, last] inclusive. */
+struct BasicBlock {
+    int first = 0;
+    int last = 0;
+    /** Successor block ids (0, 1 or 2 entries). */
+    std::vector<int> succs;
+};
+
+/** Control-flow graph of a program. */
+class Cfg
+{
+  public:
+    /** Build the CFG of p (p must validate()). */
+    explicit Cfg(const Program &p);
+
+    const std::vector<BasicBlock> &blocks() const { return bbs; }
+
+    /** @return block id containing instruction idx (-1 if none). */
+    int blockAt(int idx) const;
+
+    /** @return id of the block whose first instruction is idx (-1). */
+    int blockStartingAt(int idx) const;
+
+    /** @return true if the CFG has no cycles (templates are acyclic). */
+    bool acyclic() const;
+
+    /** @return number of distinct paths entry -> exit (acyclic only). */
+    std::uint64_t pathCount() const;
+
+  private:
+    std::vector<BasicBlock> bbs;
+    int nInstr;
+};
+
+} // namespace scamv::bir
+
+#endif // SCAMV_BIR_CFG_HH

@@ -1,0 +1,152 @@
+#include "bir/transform.hh"
+
+#include <map>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace scamv::bir {
+
+namespace {
+
+/**
+ * Collect up to opts.maxShadowInstrs copyable instructions along the
+ * straight-line path starting at `start`.  Control-flow instructions
+ * terminate the collection: nested speculation is bounded to one
+ * branch level, matching the short Cortex-A53 transient window.
+ */
+std::vector<Instr>
+collectShadow(const Program &p, int start,
+              const SpecInstrumentOptions &opts)
+{
+    std::vector<Instr> shadow;
+    const int n = static_cast<int>(p.size());
+    for (int idx = start;
+         idx < n && static_cast<int>(shadow.size()) < opts.maxShadowInstrs;
+         ++idx) {
+        const Instr &ins = p[idx];
+        if (ins.kind == InstrKind::Branch || ins.kind == InstrKind::Jump ||
+            ins.kind == InstrKind::Halt)
+            break;
+        if (ins.kind == InstrKind::Store && !opts.includeStores)
+            continue;
+        Instr copy = ins;
+        copy.transient = true;
+        shadow.push_back(copy);
+    }
+    return shadow;
+}
+
+} // namespace
+
+Program
+instrumentSpeculation(const Program &p, const SpecInstrumentOptions &opts)
+{
+    SCAMV_ASSERT(p.validate().empty(), "instrument: invalid program");
+    const int n = static_cast<int>(p.size());
+
+    // Two kinds of shadow blocks placed before original instruction
+    // idx (idx == n appends at the end):
+    //  - fall-through blocks: entered by the branch at idx-1 falling
+    //    through (they speculate the taken side);
+    //  - at-target blocks: entered only via a (re-targeted) branch
+    //    (they speculate the fall-through side).  Architectural
+    //    control flow arriving from above must *skip* them, so a jump
+    //    over the block is emitted.
+    std::map<int, std::vector<Instr>> insertFall;
+    std::map<int, std::vector<Instr>> insertTarget;
+
+    for (int i = 0; i < n; ++i) {
+        const Instr &ins = p[i];
+        if (ins.kind != InstrKind::Branch || ins.transient)
+            continue;
+        const int taken = ins.target;
+        const int fall = i + 1;
+        // Taken side speculatively executes the fall-through block.
+        auto &at_taken = insertTarget[taken];
+        auto from_fall = collectShadow(p, fall, opts);
+        at_taken.insert(at_taken.end(), from_fall.begin(),
+                        from_fall.end());
+        // Fall-through side speculatively executes the taken block.
+        auto &at_fall = insertFall[fall];
+        auto from_taken = collectShadow(p, taken, opts);
+        at_fall.insert(at_fall.end(), from_taken.begin(),
+                       from_taken.end());
+    }
+
+    Program out(p.name() + "+spec");
+    std::vector<int> newIndexOf(n + 1, -1);
+    std::vector<int> targetRemap(n + 1, -1);
+    // Jump-over instructions whose target (an original index) must be
+    // fixed up once newIndexOf is known.
+    std::vector<std::pair<int, int>> jumpFixups; // (out idx, orig idx)
+
+    for (int idx = 0; idx <= n; ++idx) {
+        auto fit = insertFall.find(idx);
+        if (fit != insertFall.end())
+            for (const Instr &s : fit->second)
+                out.push(s);
+
+        auto tit = insertTarget.find(idx);
+        if (tit != insertTarget.end() && !tit->second.empty()) {
+            // Skip marker for architectural fall-through from above.
+            jumpFixups.emplace_back(static_cast<int>(out.size()), idx);
+            out.push(Instr::jump(-1));
+            targetRemap[idx] = static_cast<int>(out.size());
+            for (const Instr &s : tit->second)
+                out.push(s);
+        } else {
+            targetRemap[idx] = static_cast<int>(out.size());
+        }
+
+        if (idx < n) {
+            newIndexOf[idx] = static_cast<int>(out.size());
+            out.push(p[idx]);
+        } else {
+            newIndexOf[idx] = static_cast<int>(out.size());
+        }
+    }
+
+    // Re-resolve control-flow targets of the original instructions.
+    for (std::size_t j = 0; j < out.size(); ++j) {
+        Instr &ins = out[j];
+        if (ins.kind == InstrKind::Branch ||
+            (ins.kind == InstrKind::Jump && ins.target != -1)) {
+            SCAMV_ASSERT(ins.target >= 0 && ins.target <= n,
+                         "instrument: target out of range");
+            ins.target = targetRemap[ins.target];
+        }
+    }
+    for (auto [out_idx, orig_idx] : jumpFixups)
+        out[out_idx].target = newIndexOf[orig_idx];
+
+    // Shadow instructions appended at the very end may leave the
+    // program without a terminator; running off the end means halt,
+    // make that explicit.
+    if (out.empty() || (out[out.size() - 1].kind != InstrKind::Halt &&
+                        out[out.size() - 1].kind != InstrKind::Jump))
+        out.push(Instr::halt());
+
+    SCAMV_ASSERT(out.validate().empty(), "instrument: produced invalid");
+    return out;
+}
+
+Program
+rewriteJumpsToCondBranches(const Program &p)
+{
+    Program out(p.name() + "+sls");
+    for (const Instr &ins : p.instrs()) {
+        if (ins.kind == InstrKind::Jump && !ins.transient) {
+            // x0 == x0 is tautologically true: the branch is always
+            // taken, preserving architectural semantics, but the
+            // instrumentation now treats the straight-line successor
+            // as a mutually-exclusive block.
+            out.push(Instr::branch(CmpOp::Eq, 0, 0, ins.target));
+        } else {
+            out.push(ins);
+        }
+    }
+    return out;
+}
+
+} // namespace scamv::bir

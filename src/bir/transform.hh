@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Speculative-instrumentation program transforms (Sections 4.2.2, 6.5).
+ *
+ * `instrumentSpeculation` implements the shadow-statement inlining of
+ * Fig. 4: for every conditional branch with mutually-exclusive blocks
+ * A (taken) and B (fall-through), the statements of B are prepended to
+ * A as *transient* instructions and vice versa.  Transient
+ * instructions operate on a shadow copy of the register file (the
+ * symbolic executor and the hardware model both implement this
+ * semantics), so the transform itself only copies instructions and
+ * sets their `transient` flag.
+ *
+ * `rewriteJumpsToCondBranches` implements the Mspec' trick of
+ * Section 6.5: unconditional direct jumps become tautologically-true
+ * conditional branches so the same instrumentation also exposes
+ * straight-line speculation.
+ */
+
+#ifndef SCAMV_BIR_TRANSFORM_HH
+#define SCAMV_BIR_TRANSFORM_HH
+
+#include "bir/bir.hh"
+
+namespace scamv::bir {
+
+/** Options bounding what may be speculated (Section 5.1). */
+struct SpecInstrumentOptions {
+    /** Maximum shadow instructions copied per branch side. */
+    int maxShadowInstrs = 16;
+    /** If true, shadow stores are copied too (their address observed). */
+    bool includeStores = true;
+};
+
+/**
+ * Add shadow (transient) instructions for every conditional branch.
+ *
+ * The input program must validate() and be acyclic.  The result
+ * contains the original instructions in order, with shadow blocks
+ * inserted at each branch destination and fall-through point; all
+ * branch targets are re-resolved.
+ */
+Program instrumentSpeculation(const Program &p,
+                              const SpecInstrumentOptions &opts = {});
+
+/**
+ * Rewrite `b label` into `b.eq x0, x0, label` (always taken).
+ * Used to build Mspec' for straight-line speculation experiments.
+ */
+Program rewriteJumpsToCondBranches(const Program &p);
+
+} // namespace scamv::bir
+
+#endif // SCAMV_BIR_TRANSFORM_HH

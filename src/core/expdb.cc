@@ -1,0 +1,139 @@
+#include "core/expdb.hh"
+
+#include <sstream>
+
+#include "support/table.hh"
+
+namespace scamv::core {
+
+const char *
+verdictName(harness::Verdict v)
+{
+    switch (v) {
+      case harness::Verdict::Indistinguishable:
+        return "indistinguishable";
+      case harness::Verdict::Counterexample:
+        return "counterexample";
+      case harness::Verdict::Inconclusive:
+        return "inconclusive";
+    }
+    return "?";
+}
+
+void
+ExperimentDb::add(ExperimentRecord record)
+{
+    records.push_back(std::move(record));
+}
+
+std::size_t
+ExperimentDb::countByVerdict(harness::Verdict v) const
+{
+    std::size_t n = 0;
+    for (const auto &r : records)
+        n += r.verdict == v;
+    return n;
+}
+
+std::vector<const ExperimentRecord *>
+ExperimentDb::counterexamples() const
+{
+    std::vector<const ExperimentRecord *> out;
+    for (const auto &r : records)
+        if (r.verdict == harness::Verdict::Counterexample)
+            out.push_back(&r);
+    return out;
+}
+
+std::map<std::string, int>
+ExperimentDb::counterexamplesByProgram() const
+{
+    std::map<std::string, int> out;
+    for (const auto &r : records)
+        if (r.verdict == harness::Verdict::Counterexample)
+            ++out[r.programName];
+    return out;
+}
+
+std::map<std::string, int>
+ExperimentDb::counterexamplesByPath() const
+{
+    std::map<std::string, int> out;
+    for (const auto &r : records)
+        if (r.verdict == harness::Verdict::Counterexample)
+            ++out[r.pathId];
+    return out;
+}
+
+namespace {
+
+std::string
+hexList(const hw::ArchState &regs)
+{
+    std::ostringstream out;
+    bool first = true;
+    for (int r = 0; r < bir::kNumRegs; ++r) {
+        if (regs.regs[r] == 0)
+            continue;
+        if (!first)
+            out << ' ';
+        out << 'x' << r << "=0x" << std::hex << regs.regs[r]
+            << std::dec;
+        first = false;
+    }
+    return out.str();
+}
+
+std::string
+memList(const harness::MemInit &mem)
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto &[addr, val] : mem) {
+        if (!first)
+            out << ' ';
+        out << "0x" << std::hex << addr << "=0x" << val << std::dec;
+        first = false;
+    }
+    return out.str();
+}
+
+} // namespace
+
+bool
+ExperimentDb::exportCsv(const std::string &path) const
+{
+    TextTable t;
+    t.setHeader({"program", "path", "trained", "verdict",
+                 "differing_reps", "total_reps", "s1_regs", "s1_mem",
+                 "s2_regs", "s2_mem"});
+    for (const auto &r : records) {
+        t.addRow({r.programName, r.pathId, r.trained ? "yes" : "no",
+                  verdictName(r.verdict),
+                  std::to_string(r.differingReps),
+                  std::to_string(r.totalReps),
+                  hexList(r.testCase.s1.regs),
+                  memList(r.testCase.s1.mem),
+                  hexList(r.testCase.s2.regs),
+                  memList(r.testCase.s2.mem)});
+    }
+    return t.writeCsv(path);
+}
+
+std::string
+ExperimentDb::summary() const
+{
+    std::ostringstream out;
+    out << records.size() << " experiments: "
+        << countByVerdict(harness::Verdict::Counterexample)
+        << " counterexamples, "
+        << countByVerdict(harness::Verdict::Inconclusive)
+        << " inconclusive, "
+        << countByVerdict(harness::Verdict::Indistinguishable)
+        << " indistinguishable; "
+        << counterexamplesByProgram().size()
+        << " distinct programs with counterexamples";
+    return out.str();
+}
+
+} // namespace scamv::core

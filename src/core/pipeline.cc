@@ -1,0 +1,368 @@
+#include "core/pipeline.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <unordered_map>
+
+#include "bir/transform.hh"
+#include "core/expdb.hh"
+#include "rel/relation.hh"
+#include "smt/sampler.hh"
+#include "smt/solver.hh"
+#include "support/logging.hh"
+#include "support/stopwatch.hh"
+
+namespace scamv::core {
+
+using expr::Expr;
+using expr::ExprContext;
+
+bool
+needsSpecInstrumentation(const PipelineConfig &cfg)
+{
+    auto speculative = [](obs::ModelKind k) {
+        return k == obs::ModelKind::Mspec ||
+               k == obs::ModelKind::Mspec1 ||
+               k == obs::ModelKind::MspecPage;
+    };
+    if (speculative(cfg.model))
+        return true;
+    return cfg.refinement && speculative(*cfg.refinement);
+}
+
+double
+scaleFromEnv(double fallback)
+{
+    const char *env = std::getenv("SCAMV_SCALE");
+    if (!env)
+        return fallback;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : fallback;
+}
+
+int
+scaled(int n, double scale)
+{
+    const int v = static_cast<int>(std::lround(n * scale));
+    return v < 1 ? 1 : v;
+}
+
+Pipeline::Pipeline(const PipelineConfig &config) : cfg(config) {}
+
+namespace {
+
+/** Per-program solving state: one incremental solver per path pair. */
+struct PairSolvers {
+    std::vector<std::unique_ptr<smt::SmtSolver>> solvers;
+    std::vector<bool> dead;
+};
+
+/** Register variables of both states, for model blocking. */
+std::vector<Expr>
+blockingVars(ExprContext &ctx, const bir::Program &program)
+{
+    std::vector<Expr> vars;
+    for (bir::Reg r : program.usedRegs()) {
+        vars.push_back(ctx.bvVar("x" + std::to_string(r) + "_1"));
+        vars.push_back(ctx.bvVar("x" + std::to_string(r) + "_2"));
+    }
+    return vars;
+}
+
+/**
+ * Canonical-model symmetrization: greedily copy s1's registers and
+ * memory words into s2 wherever the relation formula stays satisfied.
+ * Differences the relation *requires* (path conditions, refinement
+ * disequalities) survive; incidental solver asymmetry is removed.
+ */
+void
+symmetrizeModel(Expr formula, const bir::Program &program,
+                expr::Assignment &model, Rng &rng, double bias)
+{
+    auto try_merge = [&](auto mutate) {
+        if (!rng.chance(bias))
+            return;
+        expr::Assignment candidate = model;
+        mutate(candidate);
+        if (expr::evalBool(formula, candidate))
+            model = std::move(candidate);
+    };
+
+    // Wholesale merge first: s2 := s1.  Relations without refinement
+    // are reflexive, so this almost always succeeds for the unguided
+    // baseline; refinement disequalities reject it, and the per-
+    // component passes below then remove only incidental asymmetry.
+    try_merge([&](expr::Assignment &c) {
+        for (bir::Reg r : program.usedRegs())
+            c.bvVars["x" + std::to_string(r) + "_2"] =
+                c.bv("x" + std::to_string(r) + "_1");
+        if (auto m1 = c.mems.find("mem_1"); m1 != c.mems.end()) {
+            auto cells = m1->second.entries();
+            for (const auto &[addr, val] : cells)
+                c.mems["mem_2"].storeWord(addr, val);
+        }
+    });
+
+    for (bir::Reg r : program.usedRegs()) {
+        const std::string v1 = "x" + std::to_string(r) + "_1";
+        const std::string v2 = "x" + std::to_string(r) + "_2";
+        if (model.bv(v1) == model.bv(v2))
+            continue;
+        try_merge([&](expr::Assignment &c) {
+            c.bvVars[v2] = c.bv(v1);
+        });
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> mem1_cells;
+    if (auto m1 = model.mems.find("mem_1"); m1 != model.mems.end())
+        for (const auto &[addr, val] : m1->second.entries())
+            mem1_cells.emplace_back(addr, val);
+    for (const auto &[a, v] : mem1_cells) {
+        auto m2 = model.mems.find("mem_2");
+        if (m2 != model.mems.end() && m2->second.contains(a) &&
+            m2->second.load(a) == v)
+            continue;
+        try_merge([&](expr::Assignment &c) {
+            c.mems["mem_2"].storeWord(a, v);
+        });
+    }
+}
+
+} // namespace
+
+RunStats
+Pipeline::run()
+{
+    RunStats stats;
+    Stopwatch campaign;
+
+    gen::GeneratorConfig gen_cfg;
+    gen_cfg.lineBytes = cfg.modelParams.geom.lineBytes;
+    gen::ProgramGenerator generator(cfg.templateKind, cfg.seed, gen_cfg);
+    harness::Platform platform(cfg.platform, cfg.seed ^ 0x90153ULL);
+    Rng rng(cfg.seed ^ 0xc0ffeeULL);
+
+    const bool instrument = needsSpecInstrumentation(cfg);
+
+    for (int prog_i = 0; prog_i < cfg.programs; ++prog_i) {
+        ExprContext ctx;
+        const bir::Program program = generator.next();
+        ++stats.programs;
+
+        Stopwatch gen_watch;
+
+        // ---- Observation augmentation (Sections 4.2.2, 5.1) --------
+        bir::Program model_prog = program;
+        if (instrument) {
+            if (cfg.rewriteJumps)
+                model_prog = bir::rewriteJumpsToCondBranches(model_prog);
+            model_prog = bir::instrumentSpeculation(model_prog);
+        }
+
+        std::unique_ptr<sym::Annotator> annotator;
+        if (cfg.refinement) {
+            annotator = std::make_unique<obs::RefinementPair>(
+                obs::makeModel(cfg.model, cfg.modelParams),
+                obs::makeModel(*cfg.refinement, cfg.modelParams));
+        } else {
+            annotator = obs::makeModel(cfg.model, cfg.modelParams);
+        }
+
+        // ---- Symbolic execution (cached per program) ----------------
+        auto paths1 = sym::execute(ctx, model_prog, *annotator, {"_1"});
+        auto paths2 = sym::execute(ctx, model_prog, *annotator, {"_2"});
+
+        rel::RelationConfig rel_cfg;
+        rel_cfg.refine = cfg.refinement.has_value();
+        rel_cfg.region = cfg.region;
+        rel_cfg.geom = cfg.modelParams.geom;
+        rel::RelationSynthesizer relation(ctx, std::move(paths1),
+                                          std::move(paths2), rel_cfg);
+
+        // Training paths (third symbolic execution, suffix "_t").
+        std::vector<sym::PathResult> training_paths;
+        if (cfg.train) {
+            auto mpc = obs::makeModel(obs::ModelKind::Mpc);
+            training_paths = sym::execute(ctx, model_prog, *mpc, {"_t"});
+        }
+
+        stats.totalGenSeconds += gen_watch.seconds();
+
+        const auto &pairs = relation.pairs();
+        if (pairs.empty())
+            continue;
+
+        PairSolvers per_pair;
+        per_pair.solvers.resize(pairs.size());
+        per_pair.dead.assign(pairs.size(), false);
+
+        // Training inputs, cached per s1-path index.
+        std::unordered_map<int, std::optional<harness::ProgramInput>>
+            training_cache;
+        auto training_for =
+            [&](const rel::PathPair &pair)
+            -> std::optional<harness::ProgramInput> {
+            if (!cfg.train)
+                return std::nullopt;
+            auto hit = training_cache.find(pair.idx1);
+            if (hit != training_cache.end())
+                return hit->second;
+            std::optional<harness::ProgramInput> input;
+            auto formula = rel::RelationSynthesizer::trainingFormula(
+                ctx, training_paths, relation.paths1()[pair.idx1],
+                rel_cfg);
+            if (formula) {
+                smt::SmtSolver ts(ctx, *formula);
+                if (ts.solve(cfg.conflictBudget) == smt::Outcome::Sat)
+                    input = harness::inputFromAssignment(ts.model(),
+                                                         "_t");
+            }
+            training_cache.emplace(pair.idx1, input);
+            return input;
+        };
+
+        bool program_has_cex = false;
+        std::size_t rr = 0; // round-robin cursor over path pairs
+
+        for (int test_i = 0; test_i < cfg.testsPerProgram; ++test_i) {
+            // Advance to the next live pair.
+            std::size_t probe = 0;
+            while (probe < pairs.size() &&
+                   per_pair.dead[rr % pairs.size()]) {
+                ++rr;
+                ++probe;
+            }
+            if (probe == pairs.size())
+                break; // all relations exhausted
+            const std::size_t pair_idx = rr % pairs.size();
+            ++rr;
+            const rel::PathPair &pair = pairs[pair_idx];
+
+            Stopwatch test_gen_watch;
+            std::optional<expr::Assignment> model;
+
+            if (cfg.strategy == SolveStrategy::Sampler) {
+                Expr f = relation.formulaFor(pair);
+                if (cfg.coverage == Coverage::PcAndLine) {
+                    auto cov =
+                        relation.lineCoverageConstraint(pair, rng);
+                    if (cov)
+                        f = ctx.land(f, *cov);
+                }
+                smt::SamplerConfig sampler_cfg;
+                sampler_cfg.regionBase = cfg.region.base;
+                sampler_cfg.regionLimit = cfg.region.limit();
+                smt::RepairSampler sampler(ctx, f, rng, sampler_cfg);
+                model = sampler.sample();
+                if (!model) {
+                    // Fall back to the complete solver.
+                    smt::SmtSolver fallback(ctx, f);
+                    if (fallback.solve(cfg.conflictBudget) ==
+                        smt::Outcome::Sat)
+                        model = fallback.model();
+                    else
+                        per_pair.dead[pair_idx] = true;
+                }
+            } else {
+                auto &solver = per_pair.solvers[pair_idx];
+                if (!solver) {
+                    solver = std::make_unique<smt::SmtSolver>(
+                        ctx, relation.formulaFor(pair));
+                }
+                if (cfg.strategy == SolveStrategy::RandomPhases)
+                    solver->randomizePhases(rng);
+
+                smt::Outcome outcome = smt::Outcome::Unsat;
+                if (cfg.coverage == Coverage::PcAndLine) {
+                    // Randomly drawn set-index classes often
+                    // contradict the relation (e.g. distinct classes
+                    // pinned inside the attacker region); redraw a few
+                    // times before charging a generation failure.
+                    for (int attempt = 0;
+                         attempt < cfg.coverageRetries &&
+                         outcome != smt::Outcome::Sat;
+                         ++attempt) {
+                        auto cov =
+                            relation.lineCoverageConstraint(pair, rng);
+                        outcome =
+                            cov ? solver->solveWith(*cov,
+                                                    cfg.conflictBudget)
+                                : solver->solve(cfg.conflictBudget);
+                        if (!cov)
+                            break;
+                    }
+                } else {
+                    outcome = solver->solve(cfg.conflictBudget);
+                }
+
+                if (outcome == smt::Outcome::Sat) {
+                    model = solver->model();
+                    if (!solver->blockCurrentModel(
+                            blockingVars(ctx, program),
+                            cfg.blockingBits))
+                        per_pair.dead[pair_idx] = true;
+                } else if (cfg.coverage != Coverage::PcAndLine ||
+                           outcome == smt::Outcome::Unknown) {
+                    // Without per-test coverage constraints an Unsat
+                    // relation stays Unsat: retire the pair.
+                    per_pair.dead[pair_idx] = true;
+                }
+            }
+            if (model && cfg.strategy == SolveStrategy::Canonical)
+                symmetrizeModel(relation.formulaFor(pair), program,
+                                *model, rng, cfg.similarityBias);
+            stats.totalGenSeconds += test_gen_watch.seconds();
+
+            if (!model) {
+                ++stats.generationFailures;
+                continue;
+            }
+
+            harness::TestCase tc;
+            tc.s1 = harness::inputFromAssignment(*model, "_1");
+            tc.s2 = harness::inputFromAssignment(*model, "_2");
+            const auto training = training_for(pair);
+
+            Stopwatch exe_watch;
+            const harness::ExperimentResult result =
+                platform.runExperiment(program, tc, training);
+            stats.totalExeSeconds += exe_watch.seconds();
+            ++stats.experiments;
+
+            if (cfg.database) {
+                ExperimentRecord record;
+                record.programName = program.name();
+                record.programText = program.toString();
+                record.pathId =
+                    relation.paths1()[pair.idx1].pathId();
+                record.testCase = tc;
+                record.trained = training.has_value();
+                record.verdict = result.verdict;
+                record.differingReps = result.differingReps;
+                record.totalReps = result.totalReps;
+                cfg.database->add(std::move(record));
+            }
+
+            switch (result.verdict) {
+              case harness::Verdict::Counterexample:
+                ++stats.counterexamples;
+                program_has_cex = true;
+                if (stats.ttcSeconds < 0)
+                    stats.ttcSeconds = campaign.seconds();
+                break;
+              case harness::Verdict::Inconclusive:
+                ++stats.inconclusive;
+                break;
+              case harness::Verdict::Indistinguishable:
+                break;
+            }
+        }
+
+        if (program_has_cex)
+            ++stats.programsWithCex;
+    }
+    return stats;
+}
+
+} // namespace scamv::core

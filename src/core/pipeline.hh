@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The Scam-V validation pipeline with observation refinement
+ * (Fig. 1 / Fig. 8, Sections 3 and 5).
+ *
+ * For each generated program the pipeline:
+ *
+ *  1. instruments the program with observations for the model under
+ *     validation M1 and (when refinement is enabled) the refined model
+ *     M2, via the tag-based RefinementPair (Section 5.1) — for
+ *     speculative models this includes the shadow-statement transform;
+ *  2. symbolically executes the instrumented program once per state
+ *     variable set (s1, s2, and a training set st), caching the result
+ *     for all test cases of the program;
+ *  3. synthesizes per-path-pair relations (Section 5.4) requiring
+ *     equal M1 observations and, with refinement, different M2-only
+ *     observations (Section 3, step 4);
+ *  4. asks the SMT-lite solver for models, enumerating distinct test
+ *     cases via blocking clauses and round-robin path-pair/line
+ *     coverage;
+ *  5. optionally synthesizes a branch-predictor training input that
+ *     takes the other path (Section 5.3);
+ *  6. executes each test case on the simulated platform and tallies
+ *     counterexamples / inconclusive runs / timing, producing the
+ *     statistics reported in Table 1 and Fig. 7.
+ */
+
+#ifndef SCAMV_CORE_PIPELINE_HH
+#define SCAMV_CORE_PIPELINE_HH
+
+#include <optional>
+#include <string>
+
+#include "gen/templates.hh"
+#include "harness/platform.hh"
+#include "obs/models.hh"
+
+namespace scamv::core {
+
+class ExperimentDb;
+
+/** Support-model coverage driving test-case enumeration (4.1). */
+enum class Coverage {
+    Pc,       ///< path-pair coverage only (Mpc)
+    PcAndLine ///< Mpc + cache-set-index classes (Mline)
+};
+
+/** Test-generation strategy (how models are drawn from the relation). */
+enum class SolveStrategy {
+    Canonical,    ///< CDCL, default polarities: minimal Z3-like models
+    RandomPhases, ///< CDCL with randomized polarities per test case
+    Sampler       ///< randomized repair sampler, CDCL fallback
+};
+
+/** Full pipeline configuration for one experiment campaign. */
+struct PipelineConfig {
+    gen::TemplateKind templateKind = gen::TemplateKind::A;
+    /** Model under validation (M1). */
+    obs::ModelKind model = obs::ModelKind::Mct;
+    /** Refined model (M2); disabled when unset. */
+    std::optional<obs::ModelKind> refinement;
+    Coverage coverage = Coverage::Pc;
+    /** Rewrite direct jumps before instrumentation (Mspec'). */
+    bool rewriteJumps = false;
+    /** Train the branch predictor to mispredict (Section 5.3). */
+    bool train = false;
+
+    int programs = 50;
+    int testsPerProgram = 40;
+    std::uint64_t seed = 1;
+
+    obs::ModelParams modelParams;
+    obs::MemoryRegion region;
+    harness::PlatformConfig platform;
+
+    SolveStrategy strategy = SolveStrategy::Canonical;
+    std::int64_t conflictBudget = 200000;
+    /** Redraws of an unsatisfiable Mline coverage class per test. */
+    int coverageRetries = 8;
+    /**
+     * Bits per variable participating in model-blocking clauses.
+     * Low values make successive canonical test cases differ only in
+     * the low address bits — the "too similar" unguided enumeration
+     * of Section 1.  12 bits allow within-page drift, so unguided
+     * search occasionally crosses a cache line and gets lucky, as the
+     * paper's baseline does.
+     */
+    int blockingBits = 12;
+    /**
+     * Canonical-strategy model symmetrization (see DESIGN.md): after
+     * solving, each register/memory difference between s1 and s2 that
+     * the relation does not *require* is removed with this
+     * probability.  Z3's structurally-canonical models behave this
+     * way, which is what makes the paper's unguided baseline nearly
+     * blind; the residual probability models search noise and
+     * reproduces the rare lucky baseline counterexamples.
+     */
+    double similarityBias = 0.98;
+    /**
+     * Optional experiment log: when set, every executed experiment is
+     * recorded (program, test case, verdict) for post-hoc analysis.
+     * Not owned; must outlive the pipeline run.
+     */
+    ExperimentDb *database = nullptr;
+};
+
+/** Campaign statistics, mirroring a column of Table 1 / Fig. 7. */
+struct RunStats {
+    std::string label;
+    int programs = 0;
+    int programsWithCex = 0;
+    std::int64_t experiments = 0;
+    std::int64_t counterexamples = 0;
+    std::int64_t inconclusive = 0;
+    std::int64_t generationFailures = 0;
+    double totalGenSeconds = 0.0;
+    double totalExeSeconds = 0.0;
+    /** Wall-clock seconds to the first counterexample (-1: none). */
+    double ttcSeconds = -1.0;
+
+    double
+    avgGenSeconds() const
+    {
+        const auto n = experiments + generationFailures;
+        return n ? totalGenSeconds / static_cast<double>(n) : 0.0;
+    }
+
+    double
+    avgExeSeconds() const
+    {
+        return experiments
+                   ? totalExeSeconds / static_cast<double>(experiments)
+                   : 0.0;
+    }
+};
+
+/** The validation pipeline. */
+class Pipeline
+{
+  public:
+    explicit Pipeline(const PipelineConfig &config);
+
+    /** Run the whole campaign. */
+    RunStats run();
+
+  private:
+    PipelineConfig cfg;
+};
+
+/** @return true if the configuration requires shadow instrumentation. */
+bool needsSpecInstrumentation(const PipelineConfig &cfg);
+
+/**
+ * Scale factor from the SCAMV_SCALE environment variable (default
+ * `fallback`); benches multiply program/test counts by it.
+ */
+double scaleFromEnv(double fallback);
+
+/** @return max(1, round(n * scale)). */
+int scaled(int n, double scale);
+
+} // namespace scamv::core
+
+#endif // SCAMV_CORE_PIPELINE_HH

@@ -1,0 +1,70 @@
+#include "core/repair.hh"
+
+#include "support/logging.hh"
+
+namespace scamv::core {
+
+std::vector<obs::ModelKind>
+repairLattice(obs::ModelKind model)
+{
+    using obs::ModelKind;
+    switch (model) {
+      case ModelKind::Mct:
+        return {ModelKind::Mct, ModelKind::Mspec1, ModelKind::Mspec};
+      case ModelKind::Mspec1:
+        return {ModelKind::Mspec1, ModelKind::Mspec};
+      case ModelKind::Mspec:
+        return {ModelKind::Mspec};
+      case ModelKind::Mpart:
+        return {ModelKind::Mpart, ModelKind::MpartRefined};
+      case ModelKind::MpartRefined:
+        return {ModelKind::MpartRefined};
+      case ModelKind::Mpage:
+        return {ModelKind::Mpage, ModelKind::MspecPage};
+      case ModelKind::MspecPage:
+        return {ModelKind::MspecPage};
+      case ModelKind::Mpc:
+      case ModelKind::Mline:
+        // Support models are not subject to validation.
+        return {model};
+    }
+    SCAMV_PANIC("repairLattice: unknown model");
+}
+
+RepairResult
+repairModel(obs::ModelKind model, const RepairConfig &config)
+{
+    RepairResult result;
+    result.original = model;
+
+    const std::vector<obs::ModelKind> lattice = repairLattice(model);
+    const obs::ModelKind top = lattice.back();
+
+    for (obs::ModelKind candidate : lattice) {
+        RepairAttempt attempt;
+        attempt.model = candidate;
+        if (candidate != top)
+            attempt.refinement = top;
+
+        PipelineConfig cfg = config.campaign;
+        cfg.model = candidate;
+        cfg.refinement = attempt.refinement;
+        // Decorrelate candidate campaigns without losing determinism.
+        cfg.seed = config.campaign.seed ^
+                   (static_cast<std::uint64_t>(candidate) << 8);
+
+        attempt.stats = Pipeline(cfg).run();
+        attempt.sound = attempt.stats.counterexamples == 0;
+        attempt.vacuous = attempt.stats.experiments == 0;
+        const bool sound = attempt.sound;
+        result.attempts.push_back(std::move(attempt));
+
+        if (sound) {
+            result.repaired = candidate;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace scamv::core

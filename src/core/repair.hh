@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Automatic observation-model repair (the future-work direction of
+ * Section 8: "refine unsound observation models to automatically
+ * restore their soundness, e.g., by adding state observations").
+ *
+ * Given a model under validation and a validation campaign
+ * configuration, the repairer walks a more-restrictiveness lattice of
+ * candidate models (each adding observations to the previous one),
+ * validating each candidate with refinement-guided testing.  The
+ * first candidate for which no counterexample is found is reported as
+ * the (empirically) repaired model.  As in the paper, the absence of
+ * counterexamples under guided testing is evidence, not proof, of
+ * soundness.
+ *
+ * Lattices used:
+ *   Mct    -> Mspec1 -> Mspec     (speculative leakage)
+ *   Mpart  -> Mpart'              (prefetch leakage)
+ *
+ * Every non-top candidate is validated with the lattice top as the
+ * refined model; the top itself is validated unguided (there is no
+ * strictly more restrictive model available to steer the search).
+ */
+
+#ifndef SCAMV_CORE_REPAIR_HH
+#define SCAMV_CORE_REPAIR_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.hh"
+
+namespace scamv::core {
+
+/** Outcome of validating one lattice candidate. */
+struct RepairAttempt {
+    obs::ModelKind model;
+    /** Refined model used for guidance (unset for the lattice top). */
+    std::optional<obs::ModelKind> refinement;
+    RunStats stats;
+    bool sound = false; ///< no counterexample found
+    /**
+     * No experiment could even be generated: the refined model added
+     * no observations over the candidate for any generated program
+     * (Section 3's signal that the refinement is not useful here).
+     */
+    bool vacuous = false;
+};
+
+/** Result of a repair run. */
+struct RepairResult {
+    obs::ModelKind original;
+    std::vector<RepairAttempt> attempts;
+    /** First candidate that validated cleanly, if any. */
+    std::optional<obs::ModelKind> repaired;
+};
+
+/** Configuration: the campaign settings reused per candidate. */
+struct RepairConfig {
+    /** Base pipeline settings (model/refinement fields are ignored). */
+    PipelineConfig campaign;
+};
+
+/**
+ * Repair `model` by walking its lattice.
+ * @return attempts in order and the first sound candidate.
+ */
+RepairResult repairModel(obs::ModelKind model,
+                         const RepairConfig &config);
+
+/** @return the more-restrictiveness lattice starting at `model`. */
+std::vector<obs::ModelKind> repairLattice(obs::ModelKind model);
+
+} // namespace scamv::core
+
+#endif // SCAMV_CORE_REPAIR_HH

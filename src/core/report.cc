@@ -1,0 +1,103 @@
+#include "core/report.hh"
+
+#include "support/logging.hh"
+
+namespace scamv::core {
+
+TextTable
+renderCampaignTable(const std::vector<ColumnMeta> &metas,
+                    const std::vector<RunStats> &stats)
+{
+    SCAMV_ASSERT(metas.size() == stats.size(),
+                 "renderCampaignTable: size mismatch");
+    TextTable t;
+
+    auto row = [&](const std::string &name, auto value_of) {
+        std::vector<std::string> cells{name};
+        for (const RunStats &s : stats)
+            cells.push_back(value_of(s));
+        t.addRow(std::move(cells));
+    };
+
+    {
+        std::vector<std::string> cells{"Model"};
+        for (const ColumnMeta &m : metas)
+            cells.push_back(m.model);
+        t.setHeader(std::move(cells));
+    }
+    {
+        std::vector<std::string> cells{"Template"};
+        for (const ColumnMeta &m : metas)
+            cells.push_back(m.templ);
+        t.addRow(std::move(cells));
+    }
+    {
+        std::vector<std::string> cells{"Refinement"};
+        for (const ColumnMeta &m : metas)
+            cells.push_back(m.refinement);
+        t.addRow(std::move(cells));
+    }
+    {
+        std::vector<std::string> cells{"Coverage"};
+        for (const ColumnMeta &m : metas)
+            cells.push_back(m.coverage);
+        t.addRow(std::move(cells));
+    }
+
+    row("Programs",
+        [](const RunStats &s) { return std::to_string(s.programs); });
+    row("Prog. w. Count.", [](const RunStats &s) {
+        return std::to_string(s.programsWithCex);
+    });
+    row("Experiments",
+        [](const RunStats &s) { return std::to_string(s.experiments); });
+    row("- Counterexample", [](const RunStats &s) {
+        return std::to_string(s.counterexamples);
+    });
+    row("- Inconclusive", [](const RunStats &s) {
+        return std::to_string(s.inconclusive);
+    });
+    row("- Avg. Gen. time (ms)", [](const RunStats &s) {
+        return fmtDouble(s.avgGenSeconds() * 1e3, 2);
+    });
+    row("- Avg. Exe. time (ms)", [](const RunStats &s) {
+        return fmtDouble(s.avgExeSeconds() * 1e3, 2);
+    });
+    row("- T.T.C. (s)", [](const RunStats &s) {
+        return s.ttcSeconds < 0 ? std::string("-")
+                                : fmtDouble(s.ttcSeconds, 2);
+    });
+    return t;
+}
+
+TextTable
+renderChecklist(const RunStats &baseline, const RunStats &refined)
+{
+    TextTable t;
+    t.setHeader({"A.6.1 checklist metric", "baseline", "refined",
+                 "ratio"});
+    t.addRow({"Programs with counterexamples",
+              std::to_string(baseline.programsWithCex),
+              std::to_string(refined.programsWithCex),
+              fmtRatio(refined.programsWithCex,
+                       baseline.programsWithCex)});
+    t.addRow({"Counterexamples",
+              std::to_string(baseline.counterexamples),
+              std::to_string(refined.counterexamples),
+              fmtRatio(static_cast<double>(refined.counterexamples),
+                       static_cast<double>(baseline.counterexamples))});
+    const bool both_ttc =
+        baseline.ttcSeconds >= 0 && refined.ttcSeconds >= 0;
+    t.addRow({"Time to first counterexample (s)",
+              baseline.ttcSeconds < 0 ? "-"
+                                      : fmtDouble(baseline.ttcSeconds, 2),
+              refined.ttcSeconds < 0 ? "-"
+                                     : fmtDouble(refined.ttcSeconds, 2),
+              both_ttc ? fmtRatio(baseline.ttcSeconds,
+                                  refined.ttcSeconds) +
+                             " faster"
+                       : "-"});
+    return t;
+}
+
+} // namespace scamv::core

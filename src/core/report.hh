@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Rendering of campaign statistics in the layout of Table 1 and the
+ * Fig. 7 table: one column per campaign, metric rows.
+ */
+
+#ifndef SCAMV_CORE_REPORT_HH
+#define SCAMV_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "support/table.hh"
+
+namespace scamv::core {
+
+/** Header metadata of one table column. */
+struct ColumnMeta {
+    std::string model;      ///< e.g. "Mct"
+    std::string templ;      ///< e.g. "Template A"
+    std::string refinement; ///< "No" or the refined model's name
+    std::string coverage;   ///< e.g. "Mpc & Mline"
+};
+
+/**
+ * Render campaigns side by side (paper-table layout).
+ * `metas` and `stats` must have equal length.
+ */
+TextTable renderCampaignTable(const std::vector<ColumnMeta> &metas,
+                              const std::vector<RunStats> &stats);
+
+/**
+ * Render the artifact-checklist ratios of Section A.6.1 for a
+ * (baseline, refined) campaign pair.
+ */
+TextTable renderChecklist(const RunStats &baseline,
+                          const RunStats &refined);
+
+} // namespace scamv::core
+
+#endif // SCAMV_CORE_REPORT_HH

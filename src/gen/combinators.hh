@@ -1,0 +1,199 @@
+/**
+ * @file
+ * QuickCheck-style generator combinators (Section 5.4).
+ *
+ * The paper's program generators are monadic SML generators in the
+ * style of QuickCheck [17] that "can be composed to generate more
+ * complex programs to fit different attack scenarios".  This header
+ * provides the equivalent C++ combinator set: a Gen<T> is a function
+ * from an Rng to a T, composed with map/bind/pair, chosen with
+ * oneOf/frequency/elements, and sized with vectorOf.
+ *
+ * The concrete templates in templates.cc use direct Rng calls for
+ * brevity; these combinators are the extensible surface for user-
+ * defined templates (see tests/test_combinators.cc for examples,
+ * including a full custom program template).
+ */
+
+#ifndef SCAMV_GEN_COMBINATORS_HH
+#define SCAMV_GEN_COMBINATORS_HH
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace scamv::gen {
+
+/** A generator of T values: a sampling function over an Rng. */
+template <typename T>
+class Gen
+{
+  public:
+    using Fn = std::function<T(Rng &)>;
+
+    explicit Gen(Fn fn) : fn(std::move(fn)) {}
+
+    /** Draw one value. */
+    T
+    operator()(Rng &rng) const
+    {
+        return fn(rng);
+    }
+
+    /** Functor map: apply f to every generated value. */
+    template <typename F>
+    auto
+    map(F f) const -> Gen<decltype(f(std::declval<T>()))>
+    {
+        using U = decltype(f(std::declval<T>()));
+        Fn self = fn;
+        return Gen<U>([self, f](Rng &rng) { return f(self(rng)); });
+    }
+
+    /** Monadic bind: the next generator may depend on the value. */
+    template <typename F>
+    auto
+    bind(F f) const -> decltype(f(std::declval<T>()))
+    {
+        using GU = decltype(f(std::declval<T>()));
+        Fn self = fn;
+        return GU([self, f](Rng &rng) { return f(self(rng))(rng); });
+    }
+
+    /**
+     * Retry until the predicate holds (bounded; panics if the
+     * predicate looks unsatisfiable).
+     */
+    template <typename P>
+    Gen<T>
+    suchThat(P pred, int max_attempts = 1000) const
+    {
+        Fn self = fn;
+        return Gen<T>([self, pred, max_attempts](Rng &rng) {
+            for (int i = 0; i < max_attempts; ++i) {
+                T v = self(rng);
+                if (pred(v))
+                    return v;
+            }
+            SCAMV_PANIC("Gen::suchThat: predicate never satisfied");
+        });
+    }
+
+  private:
+    Fn fn;
+};
+
+/** Constant generator. */
+template <typename T>
+Gen<T>
+pure(T value)
+{
+    return Gen<T>([value](Rng &) { return value; });
+}
+
+/** Uniform integer in [lo, hi] inclusive. */
+inline Gen<std::uint64_t>
+chooseInt(std::uint64_t lo, std::uint64_t hi)
+{
+    return Gen<std::uint64_t>(
+        [lo, hi](Rng &rng) { return rng.range(lo, hi); });
+}
+
+/** Uniform element of a fixed list. */
+template <typename T>
+Gen<T>
+elements(std::vector<T> choices)
+{
+    SCAMV_ASSERT(!choices.empty(), "elements: empty choice list");
+    return Gen<T>([choices](Rng &rng) { return rng.pick(choices); });
+}
+
+/** Uniformly pick one of the given generators. */
+template <typename T>
+Gen<T>
+oneOf(std::vector<Gen<T>> gens)
+{
+    SCAMV_ASSERT(!gens.empty(), "oneOf: empty generator list");
+    return Gen<T>([gens](Rng &rng) {
+        return gens[rng.below(gens.size())](rng);
+    });
+}
+
+/** Pick a generator with the given relative weights. */
+template <typename T>
+Gen<T>
+frequency(std::vector<std::pair<int, Gen<T>>> weighted)
+{
+    SCAMV_ASSERT(!weighted.empty(), "frequency: empty list");
+    std::uint64_t total = 0;
+    for (const auto &[w, g] : weighted) {
+        SCAMV_ASSERT(w >= 0, "frequency: negative weight");
+        total += w;
+    }
+    SCAMV_ASSERT(total > 0, "frequency: zero total weight");
+    return Gen<T>([weighted, total](Rng &rng) {
+        std::uint64_t roll = rng.below(total);
+        for (const auto &[w, g] : weighted) {
+            if (roll < static_cast<std::uint64_t>(w))
+                return g(rng);
+            roll -= w;
+        }
+        SCAMV_PANIC("frequency: unreachable");
+    });
+}
+
+/** Generate a vector of n draws. */
+template <typename T>
+Gen<std::vector<T>>
+vectorOf(int n, Gen<T> g)
+{
+    return Gen<std::vector<T>>([n, g](Rng &rng) {
+        std::vector<T> out;
+        out.reserve(n);
+        for (int i = 0; i < n; ++i)
+            out.push_back(g(rng));
+        return out;
+    });
+}
+
+/** Generate a vector whose length is drawn from [lo, hi]. */
+template <typename T>
+Gen<std::vector<T>>
+vectorOfRange(int lo, int hi, Gen<T> g)
+{
+    return Gen<std::vector<T>>([lo, hi, g](Rng &rng) {
+        const int n = static_cast<int>(rng.range(lo, hi));
+        std::vector<T> out;
+        out.reserve(n);
+        for (int i = 0; i < n; ++i)
+            out.push_back(g(rng));
+        return out;
+    });
+}
+
+/** Pair two generators. */
+template <typename A, typename B>
+Gen<std::pair<A, B>>
+pairOf(Gen<A> ga, Gen<B> gb)
+{
+    return Gen<std::pair<A, B>>([ga, gb](Rng &rng) {
+        A a = ga(rng);
+        B b = gb(rng);
+        return std::make_pair(std::move(a), std::move(b));
+    });
+}
+
+/** True with probability num/den. */
+inline Gen<bool>
+chance(double p)
+{
+    return Gen<bool>([p](Rng &rng) { return rng.chance(p); });
+}
+
+} // namespace scamv::gen
+
+#endif // SCAMV_GEN_COMBINATORS_HH

@@ -1,0 +1,190 @@
+#include "gen/templates.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace scamv::gen {
+
+using bir::CmpOp;
+using bir::Instr;
+using bir::Program;
+using bir::Reg;
+
+const char *
+templateName(TemplateKind kind)
+{
+    switch (kind) {
+      case TemplateKind::Stride: return "Stride";
+      case TemplateKind::A: return "Template A";
+      case TemplateKind::B: return "Template B";
+      case TemplateKind::C: return "Template C";
+      case TemplateKind::D: return "Template D";
+    }
+    return "?";
+}
+
+ProgramGenerator::ProgramGenerator(TemplateKind kind, std::uint64_t seed,
+                                   const GeneratorConfig &config)
+    : templateKind(kind), cfg(config), rng(seed)
+{
+    SCAMV_ASSERT(cfg.poolSize >= 6 && cfg.poolSize <= bir::kNumRegs,
+                 "register pool size out of range");
+}
+
+Reg
+ProgramGenerator::pickReg()
+{
+    return static_cast<Reg>(rng.below(cfg.poolSize));
+}
+
+Reg
+ProgramGenerator::pickRegExcept(const std::vector<Reg> &excluded)
+{
+    for (int attempt = 0; attempt < 256; ++attempt) {
+        const Reg r = pickReg();
+        if (std::find(excluded.begin(), excluded.end(), r) ==
+            excluded.end())
+            return r;
+    }
+    SCAMV_PANIC("register pool exhausted");
+}
+
+CmpOp
+ProgramGenerator::pickCmp()
+{
+    static const CmpOp all[] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Ult,
+                                CmpOp::Ule, CmpOp::Ugt, CmpOp::Uge,
+                                CmpOp::Slt, CmpOp::Sle, CmpOp::Sgt,
+                                CmpOp::Sge};
+    return all[rng.below(std::size(all))];
+}
+
+Program
+ProgramGenerator::next()
+{
+    Program p;
+    switch (templateKind) {
+      case TemplateKind::Stride: p = genStride(); break;
+      case TemplateKind::A: p = genA(); break;
+      case TemplateKind::B: p = genB(); break;
+      case TemplateKind::C: p = genC(); break;
+      case TemplateKind::D: p = genD(); break;
+    }
+    p.setName(std::string(templateName(templateKind)) + "#" +
+              std::to_string(counter++));
+    SCAMV_ASSERT(p.validate().empty(), "generator produced invalid program");
+    return p;
+}
+
+Program
+ProgramGenerator::genStride()
+{
+    Program p;
+    const int loads = 3 + static_cast<int>(rng.below(3)); // 3..5
+    const std::uint64_t distance =
+        cfg.lineBytes * (1 + rng.below(4)); // 1..4 lines apart
+    const Reg base = pickReg();
+
+    std::vector<Reg> dests{base};
+    for (int k = 0; k < loads; ++k) {
+        const Reg dst = pickRegExcept({base});
+        dests.push_back(dst);
+        p.push(Instr::loadImm(dst, base, k * distance));
+    }
+    // Optional pointer-chasing load through one of the loaded values:
+    // its address depends on memory content, exercising the
+    // memory-initialization support of Section 5.4.
+    if (rng.chance(0.3)) {
+        const Reg through = dests[1 + rng.below(dests.size() - 1)];
+        const Reg dst = pickRegExcept({base});
+        p.push(Instr::loadImm(dst, through, 0));
+    }
+    p.push(Instr::halt());
+    return p;
+}
+
+Program
+ProgramGenerator::genA()
+{
+    Program p;
+    const Reg r0 = pickReg();
+    const Reg r1 = pickReg();
+    const Reg r2 = pickRegExcept({r1});
+    const Reg r4 = pickRegExcept({r1, r2});
+    const Reg r5 = pickReg(); // may alias anything (incl. r0/r1: the
+    const Reg r6 = pickReg(); // subclass unguided testing can find)
+
+    p.push(Instr::load(r2, r0, r1));
+    // Fall into the body when r1 == r4; otherwise skip to the end.
+    const int branch_idx = p.push(Instr::branch(CmpOp::Ne, r1, r4, -1));
+    p.push(Instr::load(r6, r5, r2));
+    const int end = p.push(Instr::halt());
+    p[branch_idx].target = end;
+    return p;
+}
+
+Program
+ProgramGenerator::genB()
+{
+    Program p;
+    const int pre_loads = static_cast<int>(rng.below(3));  // 0..2
+    const int body_loads = 1 + static_cast<int>(rng.below(2)); // 1..2
+
+    for (int k = 0; k < pre_loads; ++k)
+        p.push(Instr::load(pickReg(), pickReg(), pickReg()));
+
+    const int branch_idx =
+        p.push(Instr::branch(pickCmp(), pickReg(), pickReg(), -1));
+    for (int k = 0; k < body_loads; ++k)
+        p.push(Instr::load(pickReg(), pickReg(), pickReg()));
+    const int end = p.push(Instr::halt());
+    p[branch_idx].target = end;
+    return p;
+}
+
+Program
+ProgramGenerator::genC()
+{
+    Program p;
+    // Optional pre-branch load (the #A-size load of Spectre-PHT).
+    if (rng.chance(0.5))
+        p.push(Instr::load(pickReg(), pickReg(), pickReg()));
+
+    const Reg r3 = pickReg();
+    const Reg r5 = pickReg();
+    const Reg r6 = pickRegExcept({r3, r5});
+    const Reg r7 = pickRegExcept({r6});
+    const Reg r8 = pickReg();
+
+    const int branch_idx =
+        p.push(Instr::branch(pickCmp(), pickReg(), pickReg(), -1));
+    p.push(Instr::load(r6, r5, r3));
+    if (rng.chance(0.5)) // interleaved arithmetic keeps the dependency
+        p.push(Instr::aluImm(bir::AluOp::Add, r6, r6,
+                             8 * (1 + rng.below(8))));
+    p.push(Instr::load(r8, r7, r6)); // causally dependent on r6
+    const int end = p.push(Instr::halt());
+    p[branch_idx].target = end;
+    return p;
+}
+
+Program
+ProgramGenerator::genD()
+{
+    Program p;
+    const int pre_loads = static_cast<int>(rng.below(3)); // 0..2
+    for (int k = 0; k < pre_loads; ++k)
+        p.push(Instr::load(pickReg(), pickReg(), pickReg()));
+
+    const int jump_idx = p.push(Instr::jump(-1));
+    // Dead code: executes only under straight-line speculation.
+    p.push(Instr::load(pickReg(), pickReg(), pickReg()));
+    if (rng.chance(0.5))
+        p.push(Instr::load(pickReg(), pickReg(), pickReg()));
+    const int end = p.push(Instr::halt());
+    p[jump_idx].target = end;
+    return p;
+}
+
+} // namespace scamv::gen

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Grammar-driven random program generators (Section 5.4, Fig. 5/7).
+ *
+ * Re-implements the paper's SML QuickCheck-style generators for the
+ * five evaluation templates:
+ *
+ *  - `Stride`    (Mpart, 6.2): three to five loads from base r0 at a
+ *                constant line-multiple distance v, dest registers
+ *                distinct from r0; optionally a final pointer-chasing
+ *                load through one of the loaded values (this is the
+ *                "observations depend on previous loads" program class
+ *                that required the memory-initialization extension of
+ *                Section 5.4).
+ *  - `A`         (Mct, 6.3): one load before a conditional branch and
+ *                one load, indexed by the first load's result, in the
+ *                branch body; side constraints r2 != r1,
+ *                r4 not in {r1, r2}; all other registers may alias.
+ *  - `B`         (Mct/Mspec1, 6.3/6.5): zero to two loads before the
+ *                branch, one or two loads in the body, random
+ *                comparison predicate, unconstrained (possibly
+ *                aliasing) register allocation.
+ *  - `C`         (Mct/Mspec1, 6.5): two causally dependent loads in
+ *                the body, optionally interleaved with an arithmetic
+ *                instruction (the Spectre-PHT gadget shape).
+ *  - `D`         (Mct/Mspec', 6.5): loads placed after an
+ *                unconditional direct jump — straight-line-speculation
+ *                bait that never executes architecturally.
+ */
+
+#ifndef SCAMV_GEN_TEMPLATES_HH
+#define SCAMV_GEN_TEMPLATES_HH
+
+#include <string>
+
+#include "bir/bir.hh"
+#include "support/rng.hh"
+
+namespace scamv::gen {
+
+/** The evaluation templates of Fig. 5 and Fig. 7. */
+enum class TemplateKind { Stride, A, B, C, D };
+
+/** @return the paper's name ("Stride", "Template A", ...). */
+const char *templateName(TemplateKind kind);
+
+/** Generator configuration. */
+struct GeneratorConfig {
+    /** Registers are drawn from x0..x(poolSize-1). */
+    int poolSize = 12;
+    /** Cache line size (stride distances are multiples of it). */
+    std::uint64_t lineBytes = 64;
+};
+
+/** Seedable random program generator for one template. */
+class ProgramGenerator
+{
+  public:
+    ProgramGenerator(TemplateKind kind, std::uint64_t seed,
+                     const GeneratorConfig &config = {});
+
+    /** Generate the next random program (always validates). */
+    bir::Program next();
+
+    TemplateKind kind() const { return templateKind; }
+
+  private:
+    bir::Reg pickReg();
+    bir::Reg pickRegExcept(const std::vector<bir::Reg> &excluded);
+    bir::CmpOp pickCmp();
+
+    bir::Program genStride();
+    bir::Program genA();
+    bir::Program genB();
+    bir::Program genC();
+    bir::Program genD();
+
+    TemplateKind templateKind;
+    GeneratorConfig cfg;
+    Rng rng;
+    int counter = 0;
+};
+
+} // namespace scamv::gen
+
+#endif // SCAMV_GEN_TEMPLATES_HH

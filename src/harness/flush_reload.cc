@@ -1,0 +1,38 @@
+#include "harness/flush_reload.hh"
+
+namespace scamv::harness {
+
+void
+FlushReloadAttacker::flush(hw::Core &core) const
+{
+    for (int i = 0; i < lines; ++i)
+        core.cache().flushLine(base + i * lineBytes);
+}
+
+std::vector<std::uint64_t>
+FlushReloadAttacker::reload(hw::Core &core) const
+{
+    std::vector<std::uint64_t> latencies;
+    latencies.reserve(lines);
+    for (int i = 0; i < lines; ++i)
+        latencies.push_back(core.timedLoad(base + i * lineBytes));
+    return latencies;
+}
+
+std::vector<int>
+FlushReloadAttacker::hotLines(hw::Core &core) const
+{
+    const std::uint64_t threshold =
+        (core.config().hitLatency + core.config().missLatency) / 2;
+    std::vector<int> hot;
+    // Reloading a line inserts it, which cannot evict other monitored
+    // lines out from under us here because probe order is fixed and
+    // the monitored array maps to distinct sets when lines <= numSets.
+    const std::vector<std::uint64_t> lat = reload(core);
+    for (int i = 0; i < static_cast<int>(lat.size()); ++i)
+        if (lat[i] < threshold)
+            hot.push_back(i);
+    return hot;
+}
+
+} // namespace scamv::harness

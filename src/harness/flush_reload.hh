@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Flush+Reload attacker (Section 2.1), used by the SiSCloak attack
+ * demonstration of Section 6.4.
+ *
+ * The attacker shares an array with the victim, flushes its lines,
+ * lets the victim run, then times a reload of every line using the
+ * cycle counter (PMC): lines the victim touched — architecturally or
+ * transiently — reload fast.
+ */
+
+#ifndef SCAMV_HARNESS_FLUSH_RELOAD_HH
+#define SCAMV_HARNESS_FLUSH_RELOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/core.hh"
+
+namespace scamv::harness {
+
+/** Flush+Reload probe over a contiguous array of cache lines. */
+class FlushReloadAttacker
+{
+  public:
+    /**
+     * @param base        first byte of the monitored array
+     * @param lines       number of consecutive cache lines monitored
+     * @param line_bytes  line size
+     */
+    FlushReloadAttacker(std::uint64_t base, int lines,
+                        std::uint64_t line_bytes = 64)
+        : base(base), lines(lines), lineBytes(line_bytes)
+    {}
+
+    /** Flush every monitored line from the core's cache. */
+    void flush(hw::Core &core) const;
+
+    /**
+     * Time a reload of every monitored line.
+     * @return per-line latencies in cycles.
+     */
+    std::vector<std::uint64_t> reload(hw::Core &core) const;
+
+    /**
+     * @return indexes of lines classified as cached (latency below
+     * the hit/miss midpoint of the core's latency model).
+     */
+    std::vector<int> hotLines(hw::Core &core) const;
+
+  private:
+    std::uint64_t base;
+    int lines;
+    std::uint64_t lineBytes;
+};
+
+} // namespace scamv::harness
+
+#endif // SCAMV_HARNESS_FLUSH_RELOAD_HH

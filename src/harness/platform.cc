@@ -1,0 +1,172 @@
+#include "harness/platform.hh"
+
+#include "support/logging.hh"
+
+namespace scamv::harness {
+
+ProgramInput
+inputFromAssignment(const expr::Assignment &a, const std::string &suffix)
+{
+    ProgramInput input;
+    for (int r = 0; r < bir::kNumRegs; ++r) {
+        auto it = a.bvVars.find("x" + std::to_string(r) + suffix);
+        input.regs.regs[r] = it == a.bvVars.end() ? 0 : it->second;
+    }
+    auto mit = a.mems.find("mem" + suffix);
+    if (mit != a.mems.end())
+        for (const auto &[addr, val] : mit->second.entries())
+            input.mem.emplace_back(addr, val);
+    return input;
+}
+
+Platform::Platform(const PlatformConfig &config, std::uint64_t noise_seed)
+    : cfg(config), noiseRng(noise_seed)
+{}
+
+void
+Platform::prepare(hw::Core &core, const bir::Program &program,
+                  const ProgramInput &input)
+{
+    (void)program;
+    // The platform module clears the cache (and thereby the stride
+    // detector) before every execution and installs the test case's
+    // initial memory words.
+    core.cache().reset();
+    core.tlb().reset();
+    core.prefetcher().reset();
+    core.memory().clear();
+    for (const auto &[addr, val] : input.mem)
+        core.memory().store(addr, val);
+}
+
+Platform::Measurement
+Platform::measure(hw::Core &core, const bir::Program &program,
+                  const ProgramInput &input)
+{
+    prepare(core, program, input);
+
+    const int shift = cfg.core.geom.lineShift();
+    const std::uint64_t set_bits = cfg.core.geom.setShift();
+    const std::uint64_t sets = cfg.core.geom.numSets;
+
+    if (cfg.channel == Channel::PrimeProbe) {
+        // Prime: fill every visible set with the attacker's lines.
+        for (std::uint64_t set = cfg.visibleLoSet;
+             set <= cfg.visibleHiSet; ++set) {
+            for (std::uint64_t way = 0; way < cfg.core.geom.ways;
+                 ++way) {
+                const std::uint64_t addr =
+                    cfg.attackerArrayBase +
+                    way * (sets << shift) + (set << shift);
+                core.cache().access(addr);
+            }
+        }
+    }
+
+    core.run(program, input.regs);
+
+    // System interference: a stray access to a random line.
+    if (cfg.noiseProbability > 0.0 &&
+        noiseRng.chance(cfg.noiseProbability)) {
+        const std::uint64_t set =
+            cfg.visibleLoSet +
+            noiseRng.below(cfg.visibleHiSet - cfg.visibleLoSet + 1);
+        const std::uint64_t tag = 0x7fffULL + noiseRng.below(16);
+        const std::uint64_t addr =
+            (tag << (shift + set_bits)) | (set << shift);
+        core.cache().access(addr);
+    }
+
+    Measurement m;
+    if (cfg.channel == Channel::TlbSnapshot) {
+        m.tlb = core.tlb().snapshot();
+    } else if (cfg.channel == Channel::PrimeProbe) {
+        // Probe: time a reload of every primed line (PMC cycles).
+        // Victim activity in a set evicted attacker ways, turning
+        // probe hits into misses.
+        m.probeLatencies.reserve(cfg.visibleHiSet - cfg.visibleLoSet +
+                                 1);
+        for (std::uint64_t set = cfg.visibleLoSet;
+             set <= cfg.visibleHiSet; ++set) {
+            // Probe in reverse prime order: refreshing the most-
+            // recently primed way first avoids evicting the ways
+            // still to be probed (the standard anti-thrashing trick).
+            std::uint64_t total = 0;
+            for (std::uint64_t way = cfg.core.geom.ways; way > 0;
+                 --way) {
+                const std::uint64_t addr =
+                    cfg.attackerArrayBase +
+                    (way - 1) * (sets << shift) + (set << shift);
+                total += core.timedLoad(addr);
+            }
+            m.probeLatencies.push_back(total);
+        }
+    } else {
+        m.cache = core.cache().snapshot(cfg.visibleLoSet,
+                                        cfg.visibleHiSet);
+    }
+    return m;
+}
+
+ExperimentResult
+Platform::runExperiment(const bir::Program &program, const TestCase &tc,
+                        const std::optional<ProgramInput> &training)
+{
+    SCAMV_ASSERT(cfg.repeats > 0, "repeats must be positive");
+    ExperimentResult result;
+    result.totalReps = cfg.repeats;
+
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+        hw::Core core(cfg.core, cfg.boardSeed);
+        core.predictor().reset();
+
+        // Branch-predictor conditioning.  With a mistraining input
+        // (Section 5.3) the PHT is driven toward the *other* path so
+        // the measured runs mispredict.  Without one, the predictor is
+        // warmed with s1 itself so both measured runs are predicted
+        // correctly: the paper does not test the asymmetric case where
+        // only one of the two executions mispredicts.
+        const ProgramInput &warmup = training ? *training : tc.s1;
+        for (int t = 0; t < cfg.trainingRuns; ++t) {
+            core.cache().reset();
+            core.prefetcher().reset();
+            core.memory().clear();
+            for (const auto &[addr, val] : warmup.mem)
+                core.memory().store(addr, val);
+            core.run(program, warmup.regs);
+        }
+
+        const Measurement m1 = measure(core, program, tc.s1);
+        const Measurement m2 = measure(core, program, tc.s2);
+        if (!(m1 == m2))
+            ++result.differingReps;
+    }
+
+    if (result.differingReps == 0)
+        result.verdict = Verdict::Indistinguishable;
+    else if (result.differingReps == result.totalReps)
+        result.verdict = Verdict::Counterexample;
+    else
+        result.verdict = Verdict::Inconclusive;
+    return result;
+}
+
+hw::CacheState
+Platform::measureOnce(const bir::Program &program,
+                      const ProgramInput &input)
+{
+    hw::Core core(cfg.core, cfg.boardSeed);
+    return measure(core, program, input).cache;
+}
+
+std::vector<std::uint64_t>
+Platform::probeOnce(const bir::Program &program,
+                    const ProgramInput &input)
+{
+    SCAMV_ASSERT(cfg.channel == Channel::PrimeProbe,
+                 "probeOnce requires the PrimeProbe channel");
+    hw::Core core(cfg.core, cfg.boardSeed);
+    return measure(core, program, input).probeLatencies;
+}
+
+} // namespace scamv::harness

@@ -1,0 +1,100 @@
+#include "hw/cache.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace scamv::hw {
+
+Cache::Cache(const obs::CacheGeometry &geom) : geom(geom)
+{
+    sets.assign(geom.numSets, std::vector<Line>(geom.ways));
+}
+
+void
+Cache::reset()
+{
+    for (auto &set : sets)
+        for (Line &line : set)
+            line = Line{};
+    lruClock = 0;
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    const std::uint64_t set_idx = geom.setOf(addr);
+    const std::uint64_t tag = geom.tagOf(addr);
+    auto &set = sets[set_idx];
+    ++lruClock;
+
+    for (Line &line : set) {
+        if (line.valid && line.tag == tag) {
+            line.lru = lruClock;
+            ++nHits;
+            return true;
+        }
+    }
+    ++nMisses;
+    // Allocate: pick an invalid way, else the LRU way.
+    Line *victim = &set[0];
+    for (Line &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = lruClock;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t set_idx = geom.setOf(addr);
+    const std::uint64_t tag = geom.tagOf(addr);
+    for (const Line &line : sets[set_idx])
+        if (line.valid && line.tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flushLine(std::uint64_t addr)
+{
+    const std::uint64_t set_idx = geom.setOf(addr);
+    const std::uint64_t tag = geom.tagOf(addr);
+    for (Line &line : sets[set_idx])
+        if (line.valid && line.tag == tag)
+            line = Line{};
+}
+
+CacheState
+Cache::snapshot(std::uint64_t lo_set, std::uint64_t hi_set) const
+{
+    SCAMV_ASSERT(lo_set <= hi_set && hi_set < geom.numSets,
+                 "snapshot range out of bounds");
+    CacheState state;
+    state.reserve(hi_set - lo_set + 1);
+    for (std::uint64_t s = lo_set; s <= hi_set; ++s) {
+        CacheSetState tags;
+        for (const Line &line : sets[s])
+            if (line.valid)
+                tags.push_back(line.tag);
+        std::sort(tags.begin(), tags.end());
+        state.push_back(std::move(tags));
+    }
+    return state;
+}
+
+bool
+sameCacheState(const CacheState &a, const CacheState &b)
+{
+    return a == b;
+}
+
+} // namespace scamv::hw

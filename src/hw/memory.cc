@@ -1,0 +1,29 @@
+#include "hw/memory.hh"
+
+namespace scamv::hw {
+
+std::uint64_t
+Memory::junk(std::uint64_t addr) const
+{
+    // splitmix64-style mix of (addr, boardSeed).
+    std::uint64_t z = (addr & ~7ULL) + boardSeed + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Memory::load(std::uint64_t addr) const
+{
+    const std::uint64_t key = addr & ~7ULL;
+    auto it = words.find(key);
+    return it == words.end() ? junk(key) : it->second;
+}
+
+void
+Memory::store(std::uint64_t addr, std::uint64_t value)
+{
+    words[addr & ~7ULL] = value;
+}
+
+} // namespace scamv::hw

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sparse 64-bit main memory with deterministic "junk" fill.
+ *
+ * Cells never written hold an arbitrary-but-fixed value derived from
+ * the address and a board seed — like real DRAM contents on the
+ * evaluation board, identical across the two measured runs of a test
+ * case but not all-zero (all-zero defaults would accidentally make
+ * distinct speculative reads alias).
+ */
+
+#ifndef SCAMV_HW_MEMORY_HH
+#define SCAMV_HW_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace scamv::hw {
+
+/** Word-addressed (8-byte) sparse memory. */
+class Memory
+{
+  public:
+    explicit Memory(std::uint64_t board_seed = 0xb0a2dULL)
+        : boardSeed(board_seed)
+    {}
+
+    /** Remove all explicit writes (junk fill persists). */
+    void clear() { words.clear(); }
+
+    /** @return the word containing addr (addr rounded down to 8). */
+    std::uint64_t load(std::uint64_t addr) const;
+
+    /** Store a word at addr (rounded down to 8). */
+    void store(std::uint64_t addr, std::uint64_t value);
+
+    /** @return true iff the cell was explicitly written. */
+    bool written(std::uint64_t addr) const
+    {
+        return words.count(addr & ~7ULL) != 0;
+    }
+
+  private:
+    std::uint64_t junk(std::uint64_t addr) const;
+
+    std::uint64_t boardSeed;
+    std::unordered_map<std::uint64_t, std::uint64_t> words;
+};
+
+} // namespace scamv::hw
+
+#endif // SCAMV_HW_MEMORY_HH

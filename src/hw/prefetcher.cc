@@ -1,0 +1,58 @@
+#include "hw/prefetcher.hh"
+
+#include "hw/cache.hh"
+
+namespace scamv::hw {
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config)
+    : cfg(config)
+{}
+
+void
+StridePrefetcher::reset()
+{
+    lastAddr = 0;
+    lastDelta = 0;
+    streak = 0;
+    haveLast = false;
+    issuedAddrs.clear();
+}
+
+int
+StridePrefetcher::observe(std::uint64_t addr, Cache &cache)
+{
+    if (!cfg.enabled)
+        return 0;
+
+    int prefetched = 0;
+    if (haveLast) {
+        const std::int64_t delta =
+            static_cast<std::int64_t>(addr - lastAddr);
+        if (delta != 0 && delta == lastDelta) {
+            ++streak;
+        } else {
+            lastDelta = delta;
+            streak = delta != 0 ? 1 : 0;
+        }
+        // `streak` equal deltas means streak+1 equidistant accesses.
+        if (streak + 1 >= cfg.trigger && lastDelta != 0) {
+            std::uint64_t next = addr;
+            for (int d = 0; d < cfg.degree; ++d) {
+                const std::uint64_t target = next + lastDelta;
+                const bool crosses =
+                    (target / cfg.pageBytes) != (addr / cfg.pageBytes);
+                if (crosses && !cfg.crossPageBoundary)
+                    break;
+                cache.access(target);
+                issuedAddrs.push_back(target);
+                ++prefetched;
+                next = target;
+            }
+        }
+    }
+    lastAddr = addr;
+    haveLast = true;
+    return prefetched;
+}
+
+} // namespace scamv::hw

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Stride-based hardware data prefetcher.
+ *
+ * Models the Cortex-A53 L1D prefetcher as documented in Section 6.1:
+ * it activates once a stride of at least `trigger` (default 3) loads
+ * accesses equidistant addresses, prefetching `degree` further lines
+ * along the stride, and it does not prefetch across a 4 KiB page
+ * boundary — the property that makes page-aligned cache coloring safe
+ * (Section 6.2).
+ */
+
+#ifndef SCAMV_HW_PREFETCHER_HH
+#define SCAMV_HW_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace scamv::hw {
+
+class Cache;
+
+/** Prefetcher configuration. */
+struct PrefetcherConfig {
+    bool enabled = true;
+    /** Equidistant accesses needed to activate (default A53: 3). */
+    int trigger = 3;
+    /** Lines prefetched ahead once active. */
+    int degree = 1;
+    /** Page size; prefetches never cross a page boundary. */
+    std::uint64_t pageBytes = 4096;
+    /** Allow crossing pages (ablation switch; real A53: false). */
+    bool crossPageBoundary = false;
+};
+
+/** Reference stream stride detector + line prefetcher. */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(const PrefetcherConfig &config = {});
+
+    /** Clear detector state (between experiment runs). */
+    void reset();
+
+    /**
+     * Observe a demand access and possibly issue prefetches into the
+     * cache.  @return number of lines prefetched by this call.
+     */
+    int observe(std::uint64_t addr, Cache &cache);
+
+    /** Addresses prefetched over the object's lifetime (testing). */
+    const std::vector<std::uint64_t> &issued() const { return issuedAddrs; }
+
+    const PrefetcherConfig &config() const { return cfg; }
+
+  private:
+    PrefetcherConfig cfg;
+    std::uint64_t lastAddr = 0;
+    std::int64_t lastDelta = 0;
+    int streak = 0; ///< count of consecutive accesses with equal delta
+    bool haveLast = false;
+    std::vector<std::uint64_t> issuedAddrs;
+};
+
+} // namespace scamv::hw
+
+#endif // SCAMV_HW_PREFETCHER_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared cache geometry and experiment memory layout.
+ *
+ * Mirrors the evaluation platform of Section 6.1: the Cortex-A53 L1
+ * data cache (32 KiB, 4-way, 64-byte lines, hence 128 set indexes),
+ * 4 KiB pages (one page spans 64 set indexes), and the cacheable
+ * experiment memory region set up by the bare-metal platform module.
+ */
+
+#ifndef SCAMV_OBS_LAYOUT_HH
+#define SCAMV_OBS_LAYOUT_HH
+
+#include <cstdint>
+
+#include "expr/expr.hh"
+
+namespace scamv::obs {
+
+/** L1 data cache geometry (Cortex-A53 defaults). */
+struct CacheGeometry {
+    std::uint64_t lineBytes = 64;
+    std::uint64_t numSets = 128;
+    std::uint64_t ways = 4;
+
+    /** log2(lineBytes). */
+    int
+    lineShift() const
+    {
+        int s = 0;
+        while ((1ULL << s) < lineBytes)
+            ++s;
+        return s;
+    }
+
+    /** Cache set index of a concrete address. */
+    std::uint64_t
+    setOf(std::uint64_t addr) const
+    {
+        return (addr >> lineShift()) & (numSets - 1);
+    }
+
+    /** log2(numSets). */
+    int
+    setShift() const
+    {
+        int s = 0;
+        while ((1ULL << s) < numSets)
+            ++s;
+        return s;
+    }
+
+    /** Cache tag of a concrete address. */
+    std::uint64_t
+    tagOf(std::uint64_t addr) const
+    {
+        return addr >> lineShift() >> setShift();
+    }
+
+    /** Symbolic set index: (addr >> lineShift) & (numSets-1). */
+    expr::Expr
+    setExpr(expr::ExprContext &ctx, expr::Expr addr) const
+    {
+        return ctx.bvAnd(ctx.lshr(addr, ctx.bv(lineShift())),
+                         ctx.bv(numSets - 1));
+    }
+};
+
+/** Contiguous cacheable memory region used by experiments. */
+struct MemoryRegion {
+    std::uint64_t base = 0x80000;
+    std::uint64_t size = 0x80000; // 512 KiB
+
+    std::uint64_t limit() const { return base + size; }
+
+    bool
+    contains(std::uint64_t addr) const
+    {
+        return addr >= base && addr < limit();
+    }
+
+    /** Symbolic membership: base <= addr < limit, 8-byte aligned. */
+    expr::Expr
+    containsExpr(expr::ExprContext &ctx, expr::Expr addr) const
+    {
+        expr::Expr in = ctx.land(ctx.ule(ctx.bv(base), addr),
+                                 ctx.ult(addr, ctx.bv(limit())));
+        expr::Expr aligned = ctx.eq(ctx.bvAnd(addr, ctx.bv(7)),
+                                    ctx.zero());
+        return ctx.land(in, aligned);
+    }
+};
+
+/**
+ * Attacker-accessible cache region for cache-coloring experiments:
+ * the set-index range [loSet, hiSet] (Section 6.2 uses 61..127 and,
+ * page-aligned, 64..127).
+ */
+struct AttackerRegion {
+    std::uint64_t loSet = 61;
+    std::uint64_t hiSet = 127;
+    CacheGeometry geom;
+
+    /** AR(addr) on a concrete address. */
+    bool
+    contains(std::uint64_t addr) const
+    {
+        const std::uint64_t s = geom.setOf(addr);
+        return s >= loSet && s <= hiSet;
+    }
+
+    /** AR(addr) as a formula over a symbolic address. */
+    expr::Expr
+    containsExpr(expr::ExprContext &ctx, expr::Expr addr) const
+    {
+        expr::Expr set = geom.setExpr(ctx, addr);
+        return ctx.land(ctx.ule(ctx.bv(loSet), set),
+                        ctx.ule(set, ctx.bv(hiSet)));
+    }
+};
+
+} // namespace scamv::obs
+
+#endif // SCAMV_OBS_LAYOUT_HH

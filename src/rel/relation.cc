@@ -1,0 +1,184 @@
+#include "rel/relation.hh"
+
+#include "support/logging.hh"
+
+namespace scamv::rel {
+
+using expr::Expr;
+using expr::ExprContext;
+using sym::Obs;
+using sym::ObsTag;
+using sym::PathResult;
+
+namespace {
+
+/**
+ * Structural compatibility of two observation lists: equal length and
+ * no pair of constants that differ.  @return false if no states can
+ * make the lists equal.
+ */
+bool
+canBeEqual(const std::vector<Obs> &a, const std::vector<Obs> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Expr x = a[i].value;
+        const Expr y = b[i].value;
+        if (x->isConst() && y->isConst() && x->value != y->value)
+            return false;
+    }
+    return true;
+}
+
+/** Conjunction of elementwise equalities. */
+Expr
+listsEqual(ExprContext &ctx, const std::vector<Obs> &a,
+           const std::vector<Obs> &b)
+{
+    SCAMV_ASSERT(a.size() == b.size(), "listsEqual: length mismatch");
+    Expr acc = ctx.tru();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc = ctx.land(acc, ctx.eq(a[i].value, b[i].value));
+    return acc;
+}
+
+/** Disjunction of elementwise disequalities (lists differ somewhere). */
+Expr
+listsDiffer(ExprContext &ctx, const std::vector<Obs> &a,
+            const std::vector<Obs> &b)
+{
+    if (a.size() != b.size())
+        return ctx.tru();
+    Expr acc = ctx.fls();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc = ctx.lor(acc, ctx.neq(a[i].value, b[i].value));
+    return acc;
+}
+
+} // namespace
+
+RelationSynthesizer::RelationSynthesizer(ExprContext &ctx,
+                                         std::vector<PathResult> paths1,
+                                         std::vector<PathResult> paths2,
+                                         const RelationConfig &config)
+    : ctx(ctx), p1(std::move(paths1)), p2(std::move(paths2)), cfg(config)
+{
+    for (int i = 0; i < static_cast<int>(p1.size()); ++i) {
+        for (int j = 0; j < static_cast<int>(p2.size()); ++j) {
+            const auto base1 = p1[i].project(ObsTag::Base);
+            const auto base2 = p2[j].project(ObsTag::Base);
+            if (!canBeEqual(base1, base2))
+                continue;
+            PathPair pair;
+            pair.idx1 = i;
+            pair.idx2 = j;
+            if (cfg.refine) {
+                const auto ref1 = p1[i].project(ObsTag::RefinedOnly);
+                const auto ref2 = p2[j].project(ObsTag::RefinedOnly);
+                if (ref1.size() != ref2.size()) {
+                    pair.refinedTriviallyDiffer = true;
+                } else if (ref1.empty()) {
+                    // No refined observations at all: the refinement
+                    // constraint (lists differ) is unsatisfiable —
+                    // this pair cannot yield "interesting" states.
+                    continue;
+                }
+            }
+            compatible.push_back(pair);
+        }
+    }
+}
+
+Expr
+RelationSynthesizer::regionConstraints(const PathResult &p) const
+{
+    Expr acc = ctx.tru();
+    if (cfg.constrainArchAddrs)
+        for (Expr addr : p.memAddrs)
+            acc = ctx.land(acc, cfg.region.containsExpr(ctx, addr));
+    if (cfg.constrainTransientAddrs)
+        for (Expr addr : p.transientLoadAddrs)
+            acc = ctx.land(acc, cfg.region.containsExpr(ctx, addr));
+    return acc;
+}
+
+Expr
+RelationSynthesizer::formulaFor(const PathPair &pair) const
+{
+    const PathResult &a = p1[pair.idx1];
+    const PathResult &b = p2[pair.idx2];
+
+    Expr f = ctx.land(a.cond, b.cond);
+    f = ctx.land(f, listsEqual(ctx, a.project(ObsTag::Base),
+                               b.project(ObsTag::Base)));
+    if (cfg.refine && !pair.refinedTriviallyDiffer)
+        f = ctx.land(f, listsDiffer(ctx, a.project(ObsTag::RefinedOnly),
+                                    b.project(ObsTag::RefinedOnly)));
+    f = ctx.land(f, regionConstraints(a));
+    f = ctx.land(f, regionConstraints(b));
+    return f;
+}
+
+std::optional<Expr>
+RelationSynthesizer::lineCoverageConstraint(const PathPair &pair,
+                                            Rng &rng) const
+{
+    const PathResult &a = p1[pair.idx1];
+    const PathResult &b = p2[pair.idx2];
+    if (a.memAddrs.empty() && b.memAddrs.empty())
+        return std::nullopt;
+    Expr acc = ctx.tru();
+    if (!a.memAddrs.empty()) {
+        const std::uint64_t l1 = rng.below(cfg.geom.numSets);
+        acc = ctx.land(acc, ctx.eq(cfg.geom.setExpr(ctx, a.memAddrs[0]),
+                                   ctx.bv(l1)));
+    }
+    if (!b.memAddrs.empty()) {
+        const std::uint64_t l2 = rng.below(cfg.geom.numSets);
+        acc = ctx.land(acc, ctx.eq(cfg.geom.setExpr(ctx, b.memAddrs[0]),
+                                   ctx.bv(l2)));
+    }
+    return acc;
+}
+
+std::optional<Expr>
+RelationSynthesizer::trainingFormula(
+    ExprContext &ctx, const std::vector<PathResult> &training_paths,
+    const PathResult &tested_path, const RelationConfig &config)
+{
+    if (tested_path.decisions.empty())
+        return std::nullopt;
+    const bool tested_first = tested_path.decisions.front();
+    for (const PathResult &p : training_paths) {
+        if (p.decisions.empty() || p.decisions.front() == tested_first)
+            continue;
+        Expr f = p.cond;
+        if (config.constrainArchAddrs)
+            for (Expr addr : p.memAddrs)
+                f = ctx.land(f, config.region.containsExpr(ctx, addr));
+        return f;
+    }
+    return std::nullopt;
+}
+
+Expr
+fullEquivalenceRelation(ExprContext &ctx, const std::vector<PathResult> &p1,
+                        const std::vector<PathResult> &p2)
+{
+    Expr acc = ctx.tru();
+    for (const PathResult &a : p1) {
+        for (const PathResult &b : p2) {
+            const auto base1 = a.project(ObsTag::Base);
+            const auto base2 = b.project(ObsTag::Base);
+            Expr both = ctx.land(a.cond, b.cond);
+            Expr eq = base1.size() == base2.size()
+                          ? listsEqual(ctx, base1, base2)
+                          : ctx.fls();
+            acc = ctx.land(acc, ctx.implies(both, eq));
+        }
+    }
+    return acc;
+}
+
+} // namespace scamv::rel

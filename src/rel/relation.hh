@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Observational-equivalence relation synthesis (Sections 2.3, 3, 5.2).
+ *
+ * Given the symbolic paths of a program executed for state s1
+ * (variables suffixed "_1") and state s2 (suffixed "_2"), this module
+ * builds, per pair of execution paths, the formula
+ *
+ *     pc1(s1) && pc2(s2) && baseObs(s1) == baseObs(s2)
+ *         [ && refinedObs(s1) != refinedObs(s2) ]      (refinement)
+ *         [ && region/alignment constraints ]           (platform)
+ *
+ * following the per-path-pair splitting optimization of Section 5.4:
+ * pairs whose base observation lists cannot match structurally
+ * (different lengths, or constant observations that differ — e.g. the
+ * program-counter observations of two different paths) are discarded
+ * up front, and the surviving relations are explored round-robin.
+ *
+ * The module also synthesizes branch-misprediction training inputs
+ * (Section 5.3): a state st satisfying a path condition different from
+ * the tested pair's path.
+ */
+
+#ifndef SCAMV_REL_RELATION_HH
+#define SCAMV_REL_RELATION_HH
+
+#include <optional>
+#include <vector>
+
+#include "expr/expr.hh"
+#include "obs/layout.hh"
+#include "support/rng.hh"
+#include "sym/symexec.hh"
+
+namespace scamv::rel {
+
+/** A structurally compatible pair of execution paths. */
+struct PathPair {
+    int idx1 = 0; ///< index into the s1 path list
+    int idx2 = 0; ///< index into the s2 path list
+    /**
+     * True when the refined observation lists cannot be equal for any
+     * states (different lengths): the refinement constraint is then
+     * vacuously satisfied and no disequality needs to be asserted.
+     */
+    bool refinedTriviallyDiffer = false;
+};
+
+/** Synthesis options. */
+struct RelationConfig {
+    /** Assert that RefinedOnly observations differ (Section 3). */
+    bool refine = false;
+    /** Constrain every architectural access address into the region. */
+    obs::MemoryRegion region;
+    bool constrainArchAddrs = true;
+    /** Constrain transient load addresses into the region too. */
+    bool constrainTransientAddrs = true;
+    /** Geometry for line-coverage constraints. */
+    obs::CacheGeometry geom;
+};
+
+/** Relation synthesizer for one program's two symbolic executions. */
+class RelationSynthesizer
+{
+  public:
+    RelationSynthesizer(expr::ExprContext &ctx,
+                        std::vector<sym::PathResult> paths1,
+                        std::vector<sym::PathResult> paths2,
+                        const RelationConfig &config);
+
+    /** Structurally compatible path pairs (Section 5.4). */
+    const std::vector<PathPair> &pairs() const { return compatible; }
+
+    /** The relation formula for one pair. */
+    expr::Expr formulaFor(const PathPair &pair) const;
+
+    /**
+     * Mline support-model constraint (Section 4.1.2): pins the cache
+     * set index of the first architectural access of each state to a
+     * randomly drawn coverage class.  @return nullopt if the pair's
+     * paths perform no memory access.
+     */
+    std::optional<expr::Expr> lineCoverageConstraint(const PathPair &pair,
+                                                     Rng &rng) const;
+
+    /**
+     * Training-state formula (Section 5.3): the path condition, over
+     * variables suffixed `training_suffix`, of a path whose *first*
+     * branch decision differs from pair's s1-path.  Requires a third
+     * symbolic execution of the program with that suffix.
+     * @return nullopt if every path starts with the same decision.
+     */
+    static std::optional<expr::Expr> trainingFormula(
+        expr::ExprContext &ctx,
+        const std::vector<sym::PathResult> &training_paths,
+        const sym::PathResult &tested_path,
+        const RelationConfig &config);
+
+    const std::vector<sym::PathResult> &paths1() const { return p1; }
+    const std::vector<sym::PathResult> &paths2() const { return p2; }
+
+  private:
+    expr::Expr regionConstraints(const sym::PathResult &p) const;
+
+    expr::ExprContext &ctx;
+    std::vector<sym::PathResult> p1;
+    std::vector<sym::PathResult> p2;
+    RelationConfig cfg;
+    std::vector<PathPair> compatible;
+};
+
+/**
+ * Full observational-equivalence relation, Equation 1: the conjunction
+ * over all path pairs of (pc1 && pc2 => obs equal).  Exposed for the
+ * quickstart example and tests; the pipeline uses the per-pair split.
+ */
+expr::Expr fullEquivalenceRelation(expr::ExprContext &ctx,
+                                   const std::vector<sym::PathResult> &p1,
+                                   const std::vector<sym::PathResult> &p2);
+
+} // namespace scamv::rel
+
+#endif // SCAMV_REL_RELATION_HH

@@ -1,0 +1,533 @@
+#include "sat/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace scamv::sat {
+
+namespace {
+
+/** Luby restart sequence (MiniSat's formulation), value for index x. */
+std::int64_t
+lubyValue(std::int64_t x)
+{
+    std::int64_t size = 1;
+    std::int64_t seq = 0;
+    while (size < x + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != x) {
+        size = (size - 1) >> 1;
+        --seq;
+        x = x % size;
+    }
+    return 1LL << seq;
+}
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr std::int64_t kRestartBase = 128;
+
+} // namespace
+
+Solver::Solver() = default;
+
+Var
+Solver::newVar()
+{
+    const Var v = numVars();
+    assigns.push_back(LBool::Undef);
+    savedPhase.push_back(false);
+    levels.push_back(0);
+    reasons.push_back(kRefUndef);
+    activity.push_back(0.0);
+    heapIndex.push_back(-1);
+    watches.emplace_back();
+    watches.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+LBool
+Solver::value(Lit l) const
+{
+    LBool v = assigns[var(l)];
+    if (v == LBool::Undef)
+        return LBool::Undef;
+    const bool b = (v == LBool::True) != sign(l);
+    return b ? LBool::True : LBool::False;
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    if (!okay)
+        return false;
+    SCAMV_ASSERT(decisionLevel() == 0, "addClause above level 0");
+
+    // Sort/dedup; drop satisfied clauses and false literals.
+    std::sort(lits.begin(), lits.end(),
+              [](Lit a, Lit b) { return a.x < b.x; });
+    std::vector<Lit> out;
+    Lit prev = kLitUndef;
+    for (Lit l : lits) {
+        SCAMV_ASSERT(var(l) >= 0 && var(l) < numVars(),
+                     "literal for unallocated variable");
+        if (value(l) == LBool::True || l == ~prev)
+            return true; // clause satisfied or tautological
+        if (value(l) != LBool::False && l != prev)
+            out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        okay = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        uncheckedEnqueue(out[0], kRefUndef);
+        okay = (propagate() == kRefUndef);
+        return okay;
+    }
+
+    clauses.push_back({std::move(out), false, 0.0});
+    attachClause(static_cast<ClauseRef>(clauses.size()) - 1);
+    return true;
+}
+
+void
+Solver::attachClause(ClauseRef cref)
+{
+    const Clause &c = clauses[cref];
+    SCAMV_ASSERT(c.lits.size() >= 2, "attach of short clause");
+    watches[(~c.lits[0]).x].push_back({cref, c.lits[1]});
+    watches[(~c.lits[1]).x].push_back({cref, c.lits[0]});
+}
+
+void
+Solver::uncheckedEnqueue(Lit l, ClauseRef from)
+{
+    SCAMV_ASSERT(value(l) == LBool::Undef, "enqueue of assigned literal");
+    assigns[var(l)] = sign(l) ? LBool::False : LBool::True;
+    levels[var(l)] = decisionLevel();
+    reasons[var(l)] = from;
+    trail.push_back(l);
+}
+
+Solver::ClauseRef
+Solver::propagate()
+{
+    while (qhead < trail.size()) {
+        const Lit p = trail[qhead++];
+        ++nPropagations;
+        std::vector<Watcher> &ws = watches[p.x];
+        std::size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            Watcher w = ws[i];
+            if (value(w.blocker) == LBool::True) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            Clause &c = clauses[w.cref];
+            // Normalize so that the false watched literal is lits[1].
+            const Lit false_lit = ~p;
+            if (c.lits[0] == false_lit)
+                std::swap(c.lits[0], c.lits[1]);
+            ++i;
+
+            const Lit first = c.lits[0];
+            if (first != w.blocker && value(first) == LBool::True) {
+                ws[j++] = {w.cref, first};
+                continue;
+            }
+
+            // Look for a new literal to watch.
+            bool found = false;
+            for (std::size_t k = 2; k < c.lits.size(); ++k) {
+                if (value(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches[(~c.lits[1]).x].push_back({w.cref, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+
+            // Unit or conflicting.
+            ws[j++] = {w.cref, first};
+            if (value(first) == LBool::False) {
+                // Conflict: copy remaining watchers and bail out.
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+                ws.resize(j);
+                qhead = trail.size();
+                return w.cref;
+            }
+            uncheckedEnqueue(first, w.cref);
+        }
+        ws.resize(j);
+    }
+    return kRefUndef;
+}
+
+void
+Solver::varBumpActivity(Var v)
+{
+    activity[v] += varInc;
+    if (activity[v] > 1e100) {
+        for (double &a : activity)
+            a *= 1e-100;
+        varInc *= 1e-100;
+    }
+    if (heapIndex[v] != -1)
+        percolateUp(heapIndex[v]);
+}
+
+void
+Solver::varDecayActivity()
+{
+    varInc /= kVarDecay;
+}
+
+void
+Solver::claBumpActivity(Clause &c)
+{
+    c.activity += claInc;
+    if (c.activity > 1e20) {
+        for (auto &cl : clauses)
+            if (cl.learnt)
+                cl.activity *= 1e-20;
+        claInc *= 1e-20;
+    }
+}
+
+void
+Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
+                int &out_btlevel)
+{
+    out_learnt.clear();
+    out_learnt.push_back(kLitUndef); // reserve slot for asserting literal
+
+    std::vector<bool> seen(numVars(), false);
+    int path_count = 0;
+    Lit p = kLitUndef;
+    std::size_t index = trail.size();
+
+    do {
+        SCAMV_ASSERT(confl != kRefUndef, "analyze: missing reason");
+        Clause &c = clauses[confl];
+        if (c.learnt)
+            claBumpActivity(c);
+        const std::size_t start = (p == kLitUndef) ? 0 : 1;
+        for (std::size_t k = start; k < c.lits.size(); ++k) {
+            const Lit q = c.lits[k];
+            if (!seen[var(q)] && levels[var(q)] > 0) {
+                varBumpActivity(var(q));
+                seen[var(q)] = true;
+                if (levels[var(q)] >= decisionLevel())
+                    ++path_count;
+                else
+                    out_learnt.push_back(q);
+            }
+        }
+        // Select next literal on the trail to expand.
+        while (!seen[var(trail[index - 1])])
+            --index;
+        p = trail[index - 1];
+        confl = reasons[var(p)];
+        seen[var(p)] = false;
+        --path_count;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // Compute backtrack level (second-highest level in the clause).
+    if (out_learnt.size() == 1) {
+        out_btlevel = 0;
+    } else {
+        std::size_t max_i = 1;
+        for (std::size_t k = 2; k < out_learnt.size(); ++k)
+            if (levels[var(out_learnt[k])] >
+                levels[var(out_learnt[max_i])])
+                max_i = k;
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = levels[var(out_learnt[1])];
+    }
+}
+
+void
+Solver::cancelUntil(int level)
+{
+    if (decisionLevel() <= level)
+        return;
+    for (std::size_t c = trail.size(); c >
+         static_cast<std::size_t>(trailLim[level]); --c) {
+        const Var v = var(trail[c - 1]);
+        savedPhase[v] = assigns[v] == LBool::True;
+        assigns[v] = LBool::Undef;
+        reasons[v] = kRefUndef;
+        if (heapIndex[v] == -1)
+            heapInsert(v);
+    }
+    trail.resize(trailLim[level]);
+    trailLim.resize(level);
+    qhead = trail.size();
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    while (!heapEmpty()) {
+        const Var v = heapPop();
+        if (assigns[v] == LBool::Undef) {
+            ++nDecisions;
+            return mkLit(v, !savedPhase[v]);
+        }
+    }
+    return kLitUndef;
+}
+
+void
+Solver::reduceDB()
+{
+    // Remove the least active half of the learnt clauses (keeping
+    // reasons).  Simplicity over peak performance: rebuild watches.
+    std::vector<bool> is_reason(clauses.size(), false);
+    for (Var v = 0; v < numVars(); ++v)
+        if (assigns[v] != LBool::Undef && reasons[v] != kRefUndef)
+            is_reason[reasons[v]] = true;
+
+    std::vector<double> acts;
+    for (std::size_t i = 0; i < clauses.size(); ++i)
+        if (clauses[i].learnt && !is_reason[i])
+            acts.push_back(clauses[i].activity);
+    if (acts.size() < 64)
+        return;
+    std::nth_element(acts.begin(), acts.begin() + acts.size() / 2,
+                     acts.end());
+    const double median = acts[acts.size() / 2];
+
+    std::vector<Clause> kept;
+    std::vector<ClauseRef> remap(clauses.size(), kRefUndef);
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+        const bool drop = clauses[i].learnt && !is_reason[i] &&
+                          clauses[i].activity < median;
+        if (!drop) {
+            remap[i] = static_cast<ClauseRef>(kept.size());
+            kept.push_back(std::move(clauses[i]));
+        }
+    }
+    clauses = std::move(kept);
+    nLearnt = 0;
+    for (const auto &c : clauses)
+        nLearnt += c.learnt;
+    for (auto &ws : watches)
+        ws.clear();
+    for (std::size_t i = 0; i < clauses.size(); ++i)
+        attachClause(static_cast<ClauseRef>(i));
+    for (Var v = 0; v < numVars(); ++v)
+        if (reasons[v] != kRefUndef)
+            reasons[v] = remap[reasons[v]];
+}
+
+Result
+Solver::search(std::int64_t conflict_budget,
+               const std::vector<Lit> &assumptions)
+{
+    std::int64_t restart_count = 0;
+    std::int64_t conflicts_until_restart =
+        kRestartBase * lubyValue(restart_count);
+    std::int64_t conflicts_this_restart = 0;
+    std::uint64_t learnt_limit = std::max<std::uint64_t>(
+        4096, clauses.size() * 2);
+
+    while (true) {
+        const ClauseRef confl = propagate();
+        if (confl != kRefUndef) {
+            ++nConflicts;
+            ++conflicts_this_restart;
+            if (decisionLevel() == 0) {
+                okay = false;
+                return Result::Unsat;
+            }
+            std::vector<Lit> learnt;
+            int bt_level = 0;
+            analyze(confl, learnt, bt_level);
+            cancelUntil(bt_level);
+            if (learnt.size() == 1) {
+                uncheckedEnqueue(learnt[0], kRefUndef);
+            } else {
+                clauses.push_back({std::move(learnt), true, 0.0});
+                ++nLearnt;
+                const ClauseRef cref =
+                    static_cast<ClauseRef>(clauses.size()) - 1;
+                attachClause(cref);
+                claBumpActivity(clauses[cref]);
+                uncheckedEnqueue(clauses[cref].lits[0], cref);
+            }
+            varDecayActivity();
+            claInc /= kClauseDecay;
+
+            if (conflict_budget >= 0 &&
+                nConflicts >= static_cast<std::uint64_t>(conflict_budget))
+                return Result::Unknown;
+            continue;
+        }
+
+        if (conflicts_this_restart >= conflicts_until_restart) {
+            cancelUntil(0);
+            ++restart_count;
+            conflicts_this_restart = 0;
+            conflicts_until_restart =
+                kRestartBase * lubyValue(restart_count);
+        }
+
+        if (nLearnt > learnt_limit) {
+            reduceDB();
+            learnt_limit = learnt_limit * 3 / 2;
+        }
+
+        // Apply assumptions before free decisions.
+        Lit next = kLitUndef;
+        while (decisionLevel() < static_cast<int>(assumptions.size())) {
+            const Lit a = assumptions[decisionLevel()];
+            if (value(a) == LBool::True) {
+                trailLim.push_back(static_cast<int>(trail.size()));
+            } else if (value(a) == LBool::False) {
+                return Result::Unsat; // conflicting assumption
+            } else {
+                next = a;
+                break;
+            }
+        }
+        if (next == kLitUndef)
+            next = pickBranchLit();
+        if (next == kLitUndef)
+            return Result::Sat; // all variables assigned
+        trailLim.push_back(static_cast<int>(trail.size()));
+        uncheckedEnqueue(next, kRefUndef);
+    }
+}
+
+Result
+Solver::solve(std::int64_t conflict_budget)
+{
+    return solveAssuming({}, conflict_budget);
+}
+
+Result
+Solver::solveAssuming(const std::vector<Lit> &assumptions,
+                      std::int64_t conflict_budget)
+{
+    if (!okay)
+        return Result::Unsat;
+    const std::int64_t budget =
+        conflict_budget < 0 ? -1 : conflict_budget +
+        static_cast<std::int64_t>(nConflicts);
+    const Result r = search(budget, assumptions);
+    if (r == Result::Sat) {
+        // Freeze the model into savedPhase so it survives backtracking.
+        for (Var v = 0; v < numVars(); ++v)
+            if (assigns[v] != LBool::Undef)
+                savedPhase[v] = assigns[v] == LBool::True;
+    }
+    cancelUntil(0);
+    return r;
+}
+
+bool
+Solver::modelValue(Var v) const
+{
+    SCAMV_ASSERT(v >= 0 && v < numVars(), "modelValue out of range");
+    return savedPhase[v];
+}
+
+void
+Solver::setPhase(Var v, bool value)
+{
+    SCAMV_ASSERT(v >= 0 && v < numVars(), "setPhase out of range");
+    savedPhase[v] = value;
+}
+
+void
+Solver::randomizePhases(Rng &rng)
+{
+    for (Var v = 0; v < numVars(); ++v)
+        savedPhase[v] = rng.chance(0.5);
+}
+
+// ---- Indexed binary max-heap on activity -------------------------------
+
+void
+Solver::heapInsert(Var v)
+{
+    heapIndex[v] = static_cast<int>(heap.size());
+    heap.push_back(v);
+    percolateUp(heapIndex[v]);
+}
+
+void
+Solver::heapUpdate(Var v)
+{
+    if (heapIndex[v] != -1)
+        percolateUp(heapIndex[v]);
+}
+
+Var
+Solver::heapPop()
+{
+    const Var top = heap[0];
+    heapIndex[top] = -1;
+    if (heap.size() > 1) {
+        heap[0] = heap.back();
+        heapIndex[heap[0]] = 0;
+        heap.pop_back();
+        percolateDown(0);
+    } else {
+        heap.pop_back();
+    }
+    return top;
+}
+
+void
+Solver::percolateUp(int i)
+{
+    const Var v = heap[i];
+    while (i > 0) {
+        const int parent = (i - 1) / 2;
+        if (activity[heap[parent]] >= activity[v])
+            break;
+        heap[i] = heap[parent];
+        heapIndex[heap[i]] = i;
+        i = parent;
+    }
+    heap[i] = v;
+    heapIndex[v] = i;
+}
+
+void
+Solver::percolateDown(int i)
+{
+    const Var v = heap[i];
+    const int n = static_cast<int>(heap.size());
+    while (true) {
+        int child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n &&
+            activity[heap[child + 1]] > activity[heap[child]])
+            ++child;
+        if (activity[heap[child]] <= activity[v])
+            break;
+        heap[i] = heap[child];
+        heapIndex[heap[i]] = i;
+        i = child;
+    }
+    heap[i] = v;
+    heapIndex[v] = i;
+}
+
+} // namespace scamv::sat

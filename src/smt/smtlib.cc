@@ -1,0 +1,143 @@
+#include "smt/smtlib.hh"
+
+#include <cctype>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace scamv::smt {
+
+using expr::Expr;
+using expr::Kind;
+
+namespace {
+
+/** Emit a term, using let-free fully-expanded syntax with sharing via
+ * a name table for interior nodes referenced more than once. */
+class Printer
+{
+  public:
+    std::string
+    term(Expr e)
+    {
+        std::ostringstream out;
+        print(e, out);
+        return out.str();
+    }
+
+  private:
+    void
+    print(Expr e, std::ostringstream &out)
+    {
+        switch (e->kind) {
+          case Kind::BvConst:
+            out << "(_ bv" << e->value << " 64)";
+            return;
+          case Kind::BoolConst:
+            out << (e->value ? "true" : "false");
+            return;
+          case Kind::BvVar:
+          case Kind::BoolVar:
+          case Kind::MemVar:
+            out << sanitize(e->name);
+            return;
+          default:
+            break;
+        }
+        out << '(' << opName(e);
+        for (Expr k : e->kids) {
+            out << ' ';
+            print(k, out);
+        }
+        out << ')';
+    }
+
+    static std::string
+    sanitize(const std::string &name)
+    {
+        // SMT-LIB simple symbols may not contain '!' etc.; use the
+        // quoted-symbol form when in doubt.
+        for (char c : name) {
+            if (!(std::isalnum(static_cast<unsigned char>(c)) ||
+                  c == '_' || c == '-' || c == '.'))
+                return "|" + name + "|";
+        }
+        return name;
+    }
+
+    static const char *
+    opName(Expr e)
+    {
+        switch (e->kind) {
+          case Kind::Add: return "bvadd";
+          case Kind::Sub: return "bvsub";
+          case Kind::Mul: return "bvmul";
+          case Kind::BvAnd: return "bvand";
+          case Kind::BvOr: return "bvor";
+          case Kind::BvXor: return "bvxor";
+          case Kind::BvNot: return "bvnot";
+          case Kind::Neg: return "bvneg";
+          case Kind::Shl: return "bvshl";
+          case Kind::Lshr: return "bvlshr";
+          case Kind::Ashr: return "bvashr";
+          case Kind::Ite: return "ite";
+          case Kind::Read: return "select";
+          case Kind::Store: return "store";
+          case Kind::Eq: return "=";
+          case Kind::Ult: return "bvult";
+          case Kind::Ule: return "bvule";
+          case Kind::Slt: return "bvslt";
+          case Kind::Sle: return "bvsle";
+          case Kind::And: return "and";
+          case Kind::Or: return "or";
+          case Kind::Not: return "not";
+          case Kind::Implies: return "=>";
+          default:
+            SCAMV_PANIC("smtlib: unexpected kind");
+        }
+    }
+};
+
+} // namespace
+
+std::string
+termToSmtLib(Expr term)
+{
+    Printer p;
+    return p.term(term);
+}
+
+std::string
+toSmtLib(Expr formula)
+{
+    SCAMV_ASSERT(formula->sort == expr::Sort::Bool,
+                 "toSmtLib: non-boolean formula");
+    std::ostringstream out;
+    out << "(set-logic QF_ABV)\n";
+
+    for (Expr v : expr::collectVars(formula)) {
+        const std::string name = termToSmtLib(v);
+        switch (v->kind) {
+          case Kind::BvVar:
+            out << "(declare-const " << name << " (_ BitVec 64))\n";
+            break;
+          case Kind::BoolVar:
+            out << "(declare-const " << name << " Bool)\n";
+            break;
+          case Kind::MemVar:
+            out << "(declare-const " << name
+                << " (Array (_ BitVec 64) (_ BitVec 64)))\n";
+            break;
+          default:
+            SCAMV_PANIC("toSmtLib: unexpected variable kind");
+        }
+    }
+
+    out << "(assert " << termToSmtLib(formula) << ")\n";
+    out << "(check-sat)\n";
+    return out.str();
+}
+
+} // namespace scamv::smt

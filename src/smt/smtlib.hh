@@ -1,0 +1,35 @@
+/**
+ * @file
+ * SMT-LIB 2 export of relation formulas.
+ *
+ * The original Scam-V hands its relations to Z3; this repository
+ * solves them with the built-in SMT-lite stack.  For interoperability
+ * and debugging, this module renders any formula as a standalone
+ * SMT-LIB 2 script (logic QF_ABV, 64-bit words, memories as
+ * `(Array (_ BitVec 64) (_ BitVec 64))`) so it can be cross-checked
+ * with an external solver:
+ *
+ *     ./quickstart --dump | z3 -in
+ */
+
+#ifndef SCAMV_SMT_SMTLIB_HH
+#define SCAMV_SMT_SMTLIB_HH
+
+#include <string>
+
+#include "expr/expr.hh"
+
+namespace scamv::smt {
+
+/**
+ * Render `formula` as a complete SMT-LIB 2 script: declarations for
+ * every free variable, one `(assert ...)`, and `(check-sat)`.
+ */
+std::string toSmtLib(expr::Expr formula);
+
+/** Render a single term (no declarations) in SMT-LIB 2 syntax. */
+std::string termToSmtLib(expr::Expr term);
+
+} // namespace scamv::smt
+
+#endif // SCAMV_SMT_SMTLIB_HH

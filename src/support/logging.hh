@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error reporting and logging primitives.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (framework bugs), fatal() for unrecoverable user errors
+ * (bad configuration), warn()/inform() for status messages.  The
+ * library does not use C++ exceptions.
+ */
+
+#ifndef SCAMV_SUPPORT_LOGGING_HH
+#define SCAMV_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace scamv {
+
+/** Print formatted message and abort; use for internal bugs. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Globally enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+} // namespace scamv
+
+#define SCAMV_PANIC(msg) ::scamv::panicImpl(__FILE__, __LINE__, (msg))
+#define SCAMV_FATAL(msg) ::scamv::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Always-on assertion; unlike assert() it survives NDEBUG builds. */
+#define SCAMV_ASSERT(cond, msg)                                          \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            SCAMV_PANIC(std::string("assertion failed: ") + #cond +      \
+                        " — " + (msg));                                  \
+    } while (0)
+
+#endif // SCAMV_SUPPORT_LOGGING_HH

@@ -1,0 +1,102 @@
+#include "support/rng.hh"
+
+namespace scamv {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &w : s)
+        w = splitmix64(x);
+    // Avoid the (astronomically unlikely) all-zero state.
+    if (!(s[0] | s[1] | s[2] | s[3]))
+        s[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    SCAMV_ASSERT(bound != 0, "Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = bound * (UINT64_MAX / bound);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit && limit != 0);
+    return v % bound;
+}
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    SCAMV_ASSERT(lo <= hi, "Rng::range with lo > hi");
+    const std::uint64_t span = hi - lo;
+    if (span == UINT64_MAX)
+        return next();
+    return lo + below(span + 1);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+Rng
+Rng::split()
+{
+    Rng child(0);
+    child.s[0] = next();
+    child.s[1] = next();
+    child.s[2] = next();
+    child.s[3] = next();
+    if (!(child.s[0] | child.s[1] | child.s[2] | child.s[3]))
+        child.s[0] = 1;
+    return child;
+}
+
+} // namespace scamv

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Seedable pseudo-random number generator (xoshiro256**).
+ *
+ * Every stochastic component of the framework (program generators,
+ * the repair sampler, platform noise) takes an explicit Rng so that
+ * experiments are reproducible from a seed.
+ */
+
+#ifndef SCAMV_SUPPORT_RNG_HH
+#define SCAMV_SUPPORT_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace scamv {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x5ca11ab1eULL) { reseed(seed); }
+
+    /** Re-initialize the state from a seed. */
+    void reseed(std::uint64_t seed);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return uniform value in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /** @return uniform double in [0,1). */
+    double uniform();
+
+    /** @return a uniformly chosen element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        SCAMV_ASSERT(!v.empty(), "pick from empty vector");
+        return v[below(v.size())];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[below(i)]);
+    }
+
+    /** Fork an independent child generator (for parallel streams). */
+    Rng split();
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace scamv
+
+#endif // SCAMV_SUPPORT_RNG_HH

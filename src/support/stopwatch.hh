@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Wall-clock stopwatch used for generation/execution timing metrics.
+ */
+
+#ifndef SCAMV_SUPPORT_STOPWATCH_HH
+#define SCAMV_SUPPORT_STOPWATCH_HH
+
+#include <chrono>
+
+namespace scamv {
+
+/** Simple monotonic stopwatch; starts on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { restart(); }
+
+    /** Reset the start point to now. */
+    void restart() { start = Clock::now(); }
+
+    /** @return elapsed seconds since construction/restart. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    /** @return elapsed milliseconds since construction/restart. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+/** Online mean/min/max accumulator for timing statistics. */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        if (n == 0 || x < lo)
+            lo = x;
+        if (n == 0 || x > hi)
+            hi = x;
+        sum += x;
+        ++n;
+    }
+
+    /** @return number of samples. */
+    std::size_t count() const { return n; }
+    /** @return arithmetic mean (0 if empty). */
+    double mean() const { return n ? sum / n : 0.0; }
+    /** @return smallest sample (0 if empty). */
+    double min() const { return n ? lo : 0.0; }
+    /** @return largest sample (0 if empty). */
+    double max() const { return n ? hi : 0.0; }
+    /** @return sum of samples. */
+    double total() const { return sum; }
+
+  private:
+    std::size_t n = 0;
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+} // namespace scamv
+
+#endif // SCAMV_SUPPORT_STOPWATCH_HH

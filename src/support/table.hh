@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table rendering and CSV output for experiment reports.
+ *
+ * The benches use this to print rows in the same layout as Table 1 and
+ * the Figure 7 table of the paper.
+ */
+
+#ifndef SCAMV_SUPPORT_TABLE_HH
+#define SCAMV_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace scamv {
+
+/** Column-aligned text table with an optional header row. */
+class TextTable
+{
+  public:
+    /** Set the header row (first row, separated by a rule). */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; rows may have differing cell counts. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    std::string renderCsv() const;
+
+    /** Write the CSV rendering to a file. @return success. */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 1);
+
+/** Format "x.y×" speedup ratios; "-" when denominator is zero. */
+std::string fmtRatio(double num, double den, int decimals = 1);
+
+} // namespace scamv
+
+#endif // SCAMV_SUPPORT_TABLE_HH

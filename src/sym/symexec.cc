@@ -1,0 +1,323 @@
+#include "sym/symexec.hh"
+
+#include <functional>
+
+#include "support/logging.hh"
+
+namespace scamv::sym {
+
+using bir::Instr;
+using bir::InstrKind;
+using expr::ExprContext;
+
+std::vector<Obs>
+PathResult::project(ObsTag tag) const
+{
+    std::vector<Obs> out;
+    for (const Obs &o : obs)
+        if (o.tag == tag)
+            out.push_back(o);
+    return out;
+}
+
+std::string
+PathResult::pathId() const
+{
+    std::string id;
+    for (bool taken : decisions)
+        id += taken ? 'T' : 'F';
+    return id.empty() ? "-" : id;
+}
+
+namespace {
+
+/** Mutable machine state along one symbolic path. */
+struct SymState {
+    std::vector<Expr> regs;
+    Expr mem = nullptr;
+    Expr cond = nullptr;
+
+    // Shadow (transient) execution state.
+    bool inShadow = false;
+    std::vector<Expr> shadowRegs;
+    std::vector<bool> shadowTaint; ///< depends on a transient load result
+    int shadowLoadCount = 0;
+
+    PathResult result;
+    int steps = 0;
+};
+
+Expr
+cmpExpr(ExprContext &ctx, bir::CmpOp op, Expr a, Expr b)
+{
+    using bir::CmpOp;
+    switch (op) {
+      case CmpOp::Eq: return ctx.eq(a, b);
+      case CmpOp::Ne: return ctx.neq(a, b);
+      case CmpOp::Ult: return ctx.ult(a, b);
+      case CmpOp::Ule: return ctx.ule(a, b);
+      case CmpOp::Ugt: return ctx.ult(b, a);
+      case CmpOp::Uge: return ctx.ule(b, a);
+      case CmpOp::Slt: return ctx.slt(a, b);
+      case CmpOp::Sle: return ctx.sle(a, b);
+      case CmpOp::Sgt: return ctx.slt(b, a);
+      case CmpOp::Sge: return ctx.sle(b, a);
+    }
+    SCAMV_PANIC("unknown comparison");
+}
+
+Expr
+aluExpr(ExprContext &ctx, bir::AluOp op, Expr a, Expr b)
+{
+    using bir::AluOp;
+    switch (op) {
+      case AluOp::Add: return ctx.add(a, b);
+      case AluOp::Sub: return ctx.sub(a, b);
+      case AluOp::And: return ctx.bvAnd(a, b);
+      case AluOp::Orr: return ctx.bvOr(a, b);
+      case AluOp::Eor: return ctx.bvXor(a, b);
+      case AluOp::Lsl: return ctx.shl(a, b);
+      case AluOp::Lsr: return ctx.lshr(a, b);
+      case AluOp::Asr: return ctx.ashr(a, b);
+      case AluOp::Mul: return ctx.mul(a, b);
+    }
+    SCAMV_PANIC("unknown ALU op");
+}
+
+/** Whole-path explorer; recursion depth = number of branches. */
+class Explorer
+{
+  public:
+    Explorer(ExprContext &ctx, const bir::Program &p,
+             const Annotator &annotator, const SymExecConfig &config)
+        : ctx(ctx), prog(p), annotator(annotator), config(config)
+    {}
+
+    std::vector<PathResult>
+    run(const SymNames &names)
+    {
+        SymState init;
+        init.regs.resize(bir::kNumRegs);
+        for (int r = 0; r < bir::kNumRegs; ++r)
+            init.regs[r] = ctx.bvVar(names.reg(r));
+        init.mem = ctx.memVar(names.mem());
+        init.cond = ctx.tru();
+        step(init, 0);
+        return std::move(paths);
+    }
+
+  private:
+    void
+    finishPath(SymState &s)
+    {
+        s.result.cond = s.cond;
+        paths.push_back(std::move(s.result));
+    }
+
+    void
+    step(SymState s, int pc)
+    {
+        const int n = static_cast<int>(prog.size());
+        while (true) {
+            if (static_cast<int>(paths.size()) >= config.maxPaths)
+                return;
+            if (pc >= n) {
+                finishPath(s);
+                return;
+            }
+            SCAMV_ASSERT(++s.steps <= config.maxSteps,
+                         "symbolic execution step limit (loop?)");
+            const Instr &ins = prog[pc];
+
+            if (ins.transient) {
+                execTransient(s, ins, pc);
+                ++pc;
+                continue;
+            }
+            // Leaving a shadow block re-arms shadow initialization.
+            s.inShadow = false;
+
+            InstrContext ic;
+            ic.instr = &ins;
+            ic.index = pc;
+
+            auto operand2 = [&](const Instr &i) {
+                return i.useImm ? ctx.bv(i.imm) : s.regs[i.rm];
+            };
+
+            switch (ins.kind) {
+              case InstrKind::Alu:
+                s.regs[ins.rd] =
+                    aluExpr(ctx, ins.aluOp, s.regs[ins.rn], operand2(ins));
+                emit(s, ic);
+                ++pc;
+                break;
+              case InstrKind::MovImm:
+                s.regs[ins.rd] = ctx.bv(ins.imm);
+                emit(s, ic);
+                ++pc;
+                break;
+              case InstrKind::Load: {
+                Expr addr = ctx.add(s.regs[ins.rn], operand2(ins));
+                Expr val = ctx.read(s.mem, addr);
+                s.regs[ins.rd] = val;
+                ic.addr = addr;
+                ic.value = val;
+                s.result.memAddrs.push_back(addr);
+                emit(s, ic);
+                ++pc;
+                break;
+              }
+              case InstrKind::Store: {
+                Expr addr = ctx.add(s.regs[ins.rn], operand2(ins));
+                Expr val = s.regs[ins.rd];
+                s.mem = ctx.store(s.mem, addr, val);
+                ic.addr = addr;
+                ic.value = val;
+                s.result.memAddrs.push_back(addr);
+                emit(s, ic);
+                ++pc;
+                break;
+              }
+              case InstrKind::Branch: {
+                Expr taken =
+                    cmpExpr(ctx, ins.cmpOp, s.regs[ins.rn], operand2(ins));
+                Expr notTaken = ctx.lnot(taken);
+                ic.isBranch = true;
+
+                // Fork: taken direction.
+                if (taken->kind != expr::Kind::BoolConst ||
+                    taken->value) {
+                    SymState t = s;
+                    t.cond = ctx.land(t.cond, taken);
+                    t.result.decisions.push_back(true);
+                    InstrContext tic = ic;
+                    tic.branchTaken = true;
+                    tic.branchCond = taken;
+                    emit(t, tic);
+                    step(std::move(t), ins.target);
+                }
+                // Not-taken direction.
+                if (notTaken->kind != expr::Kind::BoolConst ||
+                    notTaken->value) {
+                    SymState f = std::move(s);
+                    f.cond = ctx.land(f.cond, notTaken);
+                    f.result.decisions.push_back(false);
+                    InstrContext fic = ic;
+                    fic.branchTaken = false;
+                    fic.branchCond = notTaken;
+                    emit(f, fic);
+                    step(std::move(f), pc + 1);
+                }
+                return;
+              }
+              case InstrKind::Jump:
+                emit(s, ic);
+                pc = ins.target;
+                break;
+              case InstrKind::Halt:
+                emit(s, ic);
+                finishPath(s);
+                return;
+            }
+        }
+    }
+
+    void
+    execTransient(SymState &s, const Instr &ins, int pc)
+    {
+        if (!s.inShadow) {
+            // Entering a shadow block: snapshot the architectural
+            // registers into the shadow file (Fig. 4).
+            s.inShadow = true;
+            s.shadowRegs = s.regs;
+            s.shadowTaint.assign(bir::kNumRegs, false);
+            s.shadowLoadCount = 0;
+        }
+
+        InstrContext ic;
+        ic.instr = &ins;
+        ic.index = pc;
+        ic.transient = true;
+        ic.transientLoadOrdinal = s.shadowLoadCount;
+
+        auto operand2 = [&](const Instr &i) {
+            return i.useImm ? ctx.bv(i.imm) : s.shadowRegs[i.rm];
+        };
+        auto taintOf = [&](const Instr &i) {
+            bool t = false;
+            for (bir::Reg r : i.sourceRegs())
+                t = t || s.shadowTaint[r];
+            return t;
+        };
+
+        switch (ins.kind) {
+          case InstrKind::Alu:
+            s.shadowRegs[ins.rd] = aluExpr(ctx, ins.aluOp,
+                                           s.shadowRegs[ins.rn],
+                                           operand2(ins));
+            s.shadowTaint[ins.rd] = taintOf(ins);
+            emit(s, ic);
+            break;
+          case InstrKind::MovImm:
+            s.shadowRegs[ins.rd] = ctx.bv(ins.imm);
+            s.shadowTaint[ins.rd] = false;
+            emit(s, ic);
+            break;
+          case InstrKind::Load: {
+            Expr addr = ctx.add(s.shadowRegs[ins.rn], operand2(ins));
+            Expr val = ctx.read(s.mem, addr);
+            ic.addr = addr;
+            ic.value = val;
+            ic.addrDependsOnTransientLoad = taintOf(ins);
+            s.result.transientLoadAddrs.push_back(addr);
+            emit(s, ic);
+            s.shadowRegs[ins.rd] = val;
+            s.shadowTaint[ins.rd] = true;
+            ++s.shadowLoadCount;
+            break;
+          }
+          case InstrKind::Store: {
+            // Shadow stores never reach memory; only their address is
+            // potentially observable.
+            Expr addr = ctx.add(s.shadowRegs[ins.rn], operand2(ins));
+            ic.addr = addr;
+            ic.value = s.shadowRegs[ins.rd];
+            ic.addrDependsOnTransientLoad = taintOf(ins);
+            emit(s, ic);
+            break;
+          }
+          case InstrKind::Branch:
+          case InstrKind::Jump:
+          case InstrKind::Halt:
+            // The instrumentation never copies control flow into
+            // shadow blocks.
+            SCAMV_PANIC("transient control-flow instruction");
+        }
+    }
+
+    void
+    emit(SymState &s, const InstrContext &ic)
+    {
+        annotator.observe(ctx, ic, s.result.obs);
+    }
+
+    ExprContext &ctx;
+    const bir::Program &prog;
+    const Annotator &annotator;
+    const SymExecConfig &config;
+    std::vector<PathResult> paths;
+};
+
+} // namespace
+
+std::vector<PathResult>
+execute(ExprContext &ctx, const bir::Program &p, const Annotator &annotator,
+        const SymNames &names, const SymExecConfig &config)
+{
+    SCAMV_ASSERT(p.validate().empty(), "symexec: invalid program");
+    Explorer explorer(ctx, p, annotator, config);
+    return explorer.run(names);
+}
+
+} // namespace scamv::sym

@@ -1,0 +1,173 @@
+/** @file Unit tests for the textual assembler. */
+
+#include <gtest/gtest.h>
+
+#include "bir/asm.hh"
+
+namespace scamv::bir {
+namespace {
+
+TEST(Asm, LoadForms)
+{
+    auto r = assemble("ldr x2, [x0, x1]\n"
+                      "ldr x3, [x0, #16]\n"
+                      "ldr x4, [x0]\n"
+                      "ret\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_EQ(r.program.size(), 4u);
+    EXPECT_EQ(r.program[0].kind, InstrKind::Load);
+    EXPECT_FALSE(r.program[0].useImm);
+    EXPECT_EQ(r.program[0].rm, 1);
+    EXPECT_TRUE(r.program[1].useImm);
+    EXPECT_EQ(r.program[1].imm, 16u);
+    EXPECT_TRUE(r.program[2].useImm);
+    EXPECT_EQ(r.program[2].imm, 0u);
+}
+
+TEST(Asm, StoreAndAlu)
+{
+    auto r = assemble("str x2, [x1, x3]\n"
+                      "add x4, x5, x6\n"
+                      "eor x4, x4, #255\n"
+                      "mov x7, #0x1000\n"
+                      "ret\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program[0].kind, InstrKind::Store);
+    EXPECT_EQ(r.program[1].aluOp, AluOp::Add);
+    EXPECT_EQ(r.program[2].aluOp, AluOp::Eor);
+    EXPECT_EQ(r.program[2].imm, 255u);
+    EXPECT_EQ(r.program[3].kind, InstrKind::MovImm);
+    EXPECT_EQ(r.program[3].imm, 0x1000u);
+}
+
+TEST(Asm, BranchesAndLabels)
+{
+    auto r = assemble("b.lt x0, x1, end\n"
+                      "ldr x2, [x0]\n"
+                      "end: ret\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program[0].kind, InstrKind::Branch);
+    EXPECT_EQ(r.program[0].cmpOp, CmpOp::Slt);
+    EXPECT_EQ(r.program[0].target, 2);
+}
+
+TEST(Asm, ForwardAndBackwardLabels)
+{
+    auto r = assemble("start: ldr x1, [x0]\n"
+                      "b.eq x1, #0, start\n"
+                      "b done\n"
+                      "ldr x2, [x0]\n"
+                      "done: ret\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program[1].target, 0);
+    EXPECT_EQ(r.program[2].kind, InstrKind::Jump);
+    EXPECT_EQ(r.program[2].target, 4);
+}
+
+TEST(Asm, ImmediateBases)
+{
+    auto r = assemble("mov x0, #42\nmov x1, #0xff\nmov x2, #-8\nret\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program[0].imm, 42u);
+    EXPECT_EQ(r.program[1].imm, 0xffu);
+    EXPECT_EQ(r.program[2].imm, static_cast<std::uint64_t>(-8));
+}
+
+TEST(Asm, CommentsAndBlankLines)
+{
+    auto r = assemble("; full-line comment\n"
+                      "\n"
+                      "mov x0, #1 // trailing comment\n"
+                      "ret ; done\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.size(), 2u);
+}
+
+TEST(Asm, TransientMarker)
+{
+    auto r = assemble("@t ldr x1, [x0]\nret\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.program[0].transient);
+    EXPECT_FALSE(r.program[1].transient);
+}
+
+TEST(Asm, AllConditionSuffixes)
+{
+    auto r = assemble("b.eq x0, x1, e\n"
+                      "b.ne x0, x1, e\n"
+                      "b.lt x0, x1, e\n"
+                      "b.le x0, x1, e\n"
+                      "b.gt x0, x1, e\n"
+                      "b.ge x0, x1, e\n"
+                      "b.ltu x0, x1, e\n"
+                      "b.leu x0, x1, e\n"
+                      "b.gtu x0, x1, e\n"
+                      "b.geu x0, x1, e\n"
+                      "e: ret\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program[0].cmpOp, CmpOp::Eq);
+    EXPECT_EQ(r.program[2].cmpOp, CmpOp::Slt);
+    EXPECT_EQ(r.program[6].cmpOp, CmpOp::Ult);
+    EXPECT_EQ(r.program[9].cmpOp, CmpOp::Uge);
+}
+
+TEST(Asm, ErrorUnknownMnemonic)
+{
+    auto r = assemble("frobnicate x1\nret\n");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("line 1"), std::string::npos);
+}
+
+TEST(Asm, ErrorUndefinedLabel)
+{
+    auto r = assemble("b nowhere\nret\n");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("nowhere"), std::string::npos);
+}
+
+TEST(Asm, ErrorDuplicateLabel)
+{
+    auto r = assemble("l: mov x0, #1\nl: ret\n");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Asm, ErrorBadRegister)
+{
+    auto r = assemble("mov x99, #1\nret\n");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Asm, ErrorTrailingGarbage)
+{
+    auto r = assemble("mov x0, #1 x2\nret\n");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Asm, ErrorMissingTerminator)
+{
+    auto r = assemble("mov x0, #1\n");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("validation"), std::string::npos);
+}
+
+TEST(Asm, RoundTripThroughToString)
+{
+    const char *src = "ldr x2, [x0, x1]\n"
+                      "b.geu x1, #7, end\n"
+                      "ldr x6, [x5, x2]\n"
+                      "str x6, [x5, #64]\n"
+                      "end: ret\n";
+    auto first = assemble(src);
+    ASSERT_TRUE(first.ok()) << first.error;
+    auto second = assemble(first.program.toString());
+    ASSERT_TRUE(second.ok()) << second.error;
+    ASSERT_EQ(first.program.size(), second.program.size());
+    for (std::size_t i = 0; i < first.program.size(); ++i) {
+        EXPECT_EQ(first.program[i].kind, second.program[i].kind) << i;
+        EXPECT_EQ(first.program[i].target, second.program[i].target) << i;
+        EXPECT_EQ(first.program[i].imm, second.program[i].imm) << i;
+    }
+}
+
+} // namespace
+} // namespace scamv::bir

@@ -1,0 +1,93 @@
+/** @file Unit tests for the control-flow graph. */
+
+#include <gtest/gtest.h>
+
+#include "bir/asm.hh"
+#include "bir/cfg.hh"
+
+namespace scamv::bir {
+namespace {
+
+Program
+prog(const char *src)
+{
+    auto r = assemble(src);
+    EXPECT_TRUE(r.ok()) << r.error;
+    return r.program;
+}
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Cfg cfg(prog("mov x0, #1\nadd x0, x0, #2\nret\n"));
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+    EXPECT_EQ(cfg.blocks()[0].first, 0);
+    EXPECT_EQ(cfg.blocks()[0].last, 2);
+    EXPECT_TRUE(cfg.blocks()[0].succs.empty());
+}
+
+TEST(Cfg, DiamondShape)
+{
+    Cfg cfg(prog("b.eq x0, x1, then\n"
+                 "ldr x2, [x0]\n"
+                 "b join\n"
+                 "then: ldr x3, [x1]\n"
+                 "join: ret\n"));
+    // Blocks: [0], [1,2], [3], [4]
+    ASSERT_EQ(cfg.blocks().size(), 4u);
+    EXPECT_EQ(cfg.blocks()[0].succs.size(), 2u);
+    EXPECT_TRUE(cfg.acyclic());
+    EXPECT_EQ(cfg.pathCount(), 2u);
+}
+
+TEST(Cfg, BlockAtAndStartingAt)
+{
+    Cfg cfg(prog("b.eq x0, x1, t\nldr x2, [x0]\nt: ret\n"));
+    EXPECT_EQ(cfg.blockAt(0), 0);
+    EXPECT_EQ(cfg.blockAt(1), 1);
+    EXPECT_EQ(cfg.blockAt(2), 2);
+    EXPECT_EQ(cfg.blockStartingAt(2), 2);
+    EXPECT_EQ(cfg.blockStartingAt(1), 1);
+    EXPECT_EQ(cfg.blockAt(99), -1);
+    EXPECT_EQ(cfg.blockStartingAt(99), -1);
+}
+
+TEST(Cfg, LoopIsCyclic)
+{
+    Cfg cfg(prog("top: add x0, x0, #1\nb.lt x0, #10, top\nret\n"));
+    EXPECT_FALSE(cfg.acyclic());
+    EXPECT_EQ(cfg.pathCount(), 0u);
+}
+
+TEST(Cfg, TwoBranchesFourPaths)
+{
+    Cfg cfg(prog("b.eq x0, x1, a\n"
+                 "a: b.ne x2, x3, b\n"
+                 "b: ret\n"));
+    EXPECT_TRUE(cfg.acyclic());
+    // Branch 1 has both successors leading into branch 2 (target is
+    // the fall-through), so paths multiply: 2 * 2 = 4... but both
+    // edges of branch 1 reach the same block, giving 2+2 = 4 paths.
+    EXPECT_EQ(cfg.pathCount(), 4u);
+}
+
+TEST(Cfg, JumpOnlySuccessor)
+{
+    Cfg cfg(prog("b end\nldr x1, [x0]\nend: ret\n"));
+    ASSERT_GE(cfg.blocks().size(), 2u);
+    EXPECT_EQ(cfg.blocks()[0].succs.size(), 1u);
+    EXPECT_TRUE(cfg.acyclic());
+}
+
+TEST(Cfg, BranchToEndHasOneInRangeSuccessor)
+{
+    Program p;
+    p.push(Instr::branchImm(CmpOp::Eq, 0, 0, 2));
+    p.push(Instr::halt());
+    Cfg cfg(p);
+    // Taken edge leaves the program (treated as exit): only the
+    // fall-through successor is recorded.
+    EXPECT_EQ(cfg.blocks()[0].succs.size(), 1u);
+}
+
+} // namespace
+} // namespace scamv::bir

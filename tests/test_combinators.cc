@@ -1,0 +1,181 @@
+/** @file Unit tests for the QuickCheck-style generator combinators,
+ * including a full custom program template built from them. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bir/bir.hh"
+#include "gen/combinators.hh"
+
+namespace scamv::gen {
+namespace {
+
+TEST(Combinators, PureAlwaysSame)
+{
+    Rng rng(1);
+    auto g = pure(42);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(g(rng), 42);
+}
+
+TEST(Combinators, ChooseIntInRange)
+{
+    Rng rng(2);
+    auto g = chooseInt(10, 15);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 300; ++i) {
+        const std::uint64_t v = g(rng);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 15u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Combinators, ElementsPicksFromList)
+{
+    Rng rng(3);
+    auto g = elements<int>({2, 4, 8});
+    for (int i = 0; i < 50; ++i) {
+        const int v = g(rng);
+        EXPECT_TRUE(v == 2 || v == 4 || v == 8);
+    }
+}
+
+TEST(Combinators, MapTransforms)
+{
+    Rng rng(4);
+    auto g = chooseInt(1, 5).map([](std::uint64_t v) { return v * 64; });
+    for (int i = 0; i < 50; ++i) {
+        const auto v = g(rng);
+        EXPECT_EQ(v % 64, 0u);
+        EXPECT_GE(v, 64u);
+        EXPECT_LE(v, 320u);
+    }
+}
+
+TEST(Combinators, BindDependsOnValue)
+{
+    Rng rng(5);
+    // Draw a length, then a vector of exactly that length.
+    auto g = chooseInt(1, 4).bind([](std::uint64_t n) {
+        return vectorOf(static_cast<int>(n), chooseInt(0, 9));
+    });
+    for (int i = 0; i < 50; ++i) {
+        const auto v = g(rng);
+        EXPECT_GE(v.size(), 1u);
+        EXPECT_LE(v.size(), 4u);
+    }
+}
+
+TEST(Combinators, SuchThatFilters)
+{
+    Rng rng(6);
+    auto even = chooseInt(0, 100).suchThat(
+        [](std::uint64_t v) { return v % 2 == 0; });
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(even(rng) % 2, 0u);
+}
+
+TEST(Combinators, OneOfUsesAllAlternatives)
+{
+    Rng rng(7);
+    auto g = oneOf<std::uint64_t>({pure<std::uint64_t>(1),
+                                   pure<std::uint64_t>(2),
+                                   pure<std::uint64_t>(3)});
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(g(rng));
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Combinators, FrequencyRespectsWeights)
+{
+    Rng rng(8);
+    auto g = frequency<std::uint64_t>(
+        {{9, pure<std::uint64_t>(0)}, {1, pure<std::uint64_t>(1)}});
+    int ones = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        ones += static_cast<int>(g(rng));
+    EXPECT_NEAR(ones / static_cast<double>(n), 0.1, 0.03);
+}
+
+TEST(Combinators, FrequencyZeroWeightNeverPicked)
+{
+    Rng rng(9);
+    auto g = frequency<std::uint64_t>(
+        {{0, pure<std::uint64_t>(7)}, {5, pure<std::uint64_t>(1)}});
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(g(rng), 1u);
+}
+
+TEST(Combinators, VectorOfRangeLengths)
+{
+    Rng rng(10);
+    auto g = vectorOfRange(3, 5, chooseInt(0, 1));
+    std::set<std::size_t> lengths;
+    for (int i = 0; i < 100; ++i)
+        lengths.insert(g(rng).size());
+    EXPECT_EQ(lengths, (std::set<std::size_t>{3, 4, 5}));
+}
+
+TEST(Combinators, PairOfCombines)
+{
+    Rng rng(11);
+    auto g = pairOf(chooseInt(0, 9), elements<char>({'a', 'b'}));
+    for (int i = 0; i < 50; ++i) {
+        auto [n, c] = g(rng);
+        EXPECT_LE(n, 9u);
+        EXPECT_TRUE(c == 'a' || c == 'b');
+    }
+}
+
+TEST(Combinators, DeterministicFromSeed)
+{
+    auto g = vectorOf(8, chooseInt(0, 1000));
+    Rng a(12), b(12);
+    EXPECT_EQ(g(a), g(b));
+}
+
+/**
+ * A complete custom template built from combinators: a stride program
+ * with a composable register allocator — the extension workflow the
+ * paper describes for "different attack scenarios".
+ */
+TEST(Combinators, CustomProgramTemplate)
+{
+    using bir::Instr;
+    auto reg = chooseInt(0, 11).map(
+        [](std::uint64_t r) { return static_cast<bir::Reg>(r); });
+    auto distance = elements<std::uint64_t>({64, 128, 192});
+
+    auto program_gen =
+        pairOf(reg, distance).bind([reg](std::pair<bir::Reg,
+                                                   std::uint64_t> bd) {
+            auto [base, dist] = bd;
+            auto dest = reg.suchThat(
+                [base](bir::Reg r) { return r != base; });
+            return vectorOfRange(3, 5, dest).map(
+                [base, dist](std::vector<bir::Reg> dests) {
+                    bir::Program p("custom-stride");
+                    for (std::size_t k = 0; k < dests.size(); ++k)
+                        p.push(Instr::loadImm(dests[k], base,
+                                              k * dist));
+                    p.push(Instr::halt());
+                    return p;
+                });
+        });
+
+    Rng rng(13);
+    for (int i = 0; i < 30; ++i) {
+        bir::Program p = program_gen(rng);
+        EXPECT_EQ(p.validate(), "");
+        EXPECT_GE(p.memAccessCount(), 3);
+        EXPECT_LE(p.memAccessCount(), 5);
+    }
+}
+
+} // namespace
+} // namespace scamv::gen

@@ -1,0 +1,157 @@
+/** @file Unit tests for concrete expression evaluation. */
+
+#include <gtest/gtest.h>
+
+#include "expr/eval.hh"
+
+namespace scamv::expr {
+namespace {
+
+class EvalTest : public ::testing::Test
+{
+  protected:
+    ExprContext ctx;
+    Assignment a;
+};
+
+TEST_F(EvalTest, VariablesAndConstants)
+{
+    a.bvVars["x"] = 7;
+    EXPECT_EQ(evalBv(ctx.bvVar("x"), a), 7u);
+    EXPECT_EQ(evalBv(ctx.bv(11), a), 11u);
+    EXPECT_EQ(evalBv(ctx.bvVar("unbound"), a), 0u);
+    EXPECT_TRUE(evalBool(ctx.tru(), a));
+    EXPECT_FALSE(evalBool(ctx.fls(), a));
+}
+
+TEST_F(EvalTest, Arithmetic)
+{
+    a.bvVars["x"] = 10;
+    a.bvVars["y"] = 3;
+    Expr x = ctx.bvVar("x"), y = ctx.bvVar("y");
+    EXPECT_EQ(evalBv(ctx.add(x, y), a), 13u);
+    EXPECT_EQ(evalBv(ctx.sub(x, y), a), 7u);
+    EXPECT_EQ(evalBv(ctx.mul(x, y), a), 30u);
+    EXPECT_EQ(evalBv(ctx.neg(y), a), static_cast<std::uint64_t>(-3));
+}
+
+TEST_F(EvalTest, WrapAround)
+{
+    a.bvVars["x"] = UINT64_MAX;
+    Expr x = ctx.bvVar("x");
+    EXPECT_EQ(evalBv(ctx.add(x, ctx.bv(1)), a), 0u);
+    EXPECT_EQ(evalBv(ctx.mul(x, ctx.bv(2)), a), UINT64_MAX - 1);
+}
+
+TEST_F(EvalTest, BitwiseAndShifts)
+{
+    a.bvVars["x"] = 0xFF00;
+    Expr x = ctx.bvVar("x");
+    EXPECT_EQ(evalBv(ctx.bvAnd(x, ctx.bv(0x0F00)), a), 0x0F00u);
+    EXPECT_EQ(evalBv(ctx.bvOr(x, ctx.bv(0xFF)), a), 0xFFFFu);
+    EXPECT_EQ(evalBv(ctx.bvXor(x, x), a), 0u);
+    EXPECT_EQ(evalBv(ctx.bvNot(ctx.bv(0)), a), UINT64_MAX);
+    EXPECT_EQ(evalBv(ctx.shl(ctx.bv(1), ctx.bv(12)), a), 4096u);
+    EXPECT_EQ(evalBv(ctx.lshr(x, ctx.bv(8)), a), 0xFFu);
+    EXPECT_EQ(evalBv(ctx.ashr(ctx.bv(0x8000000000000000ULL),
+                              ctx.bv(4)), a),
+              0xF800000000000000ULL);
+}
+
+TEST_F(EvalTest, ShiftAmountsWrapMod64)
+{
+    EXPECT_EQ(evalBv(ctx.shl(ctx.bvVar("one"), ctx.bv(64)), a),
+              a.bv("one")); // 64 & 63 == 0
+    a.bvVars["one"] = 1;
+    EXPECT_EQ(evalBv(ctx.shl(ctx.bvVar("one"), ctx.bv(65)), a), 2u);
+}
+
+TEST_F(EvalTest, Comparisons)
+{
+    a.bvVars["x"] = 5;
+    a.bvVars["y"] = static_cast<std::uint64_t>(-5);
+    Expr x = ctx.bvVar("x"), y = ctx.bvVar("y");
+    EXPECT_TRUE(evalBool(ctx.ult(x, y), a));  // unsigned: 5 < huge
+    EXPECT_FALSE(evalBool(ctx.slt(x, y), a)); // signed: 5 > -5
+    EXPECT_TRUE(evalBool(ctx.sle(y, x), a));
+    EXPECT_TRUE(evalBool(ctx.eq(x, ctx.bv(5)), a));
+    EXPECT_TRUE(evalBool(ctx.neq(x, y), a));
+}
+
+TEST_F(EvalTest, BooleanConnectives)
+{
+    a.boolVars["p"] = true;
+    a.boolVars["q"] = false;
+    Expr p = ctx.boolVar("p"), q = ctx.boolVar("q");
+    EXPECT_FALSE(evalBool(ctx.land(p, q), a));
+    EXPECT_TRUE(evalBool(ctx.lor(p, q), a));
+    EXPECT_TRUE(evalBool(ctx.lnot(q), a));
+    EXPECT_FALSE(evalBool(ctx.implies(p, q), a));
+    EXPECT_TRUE(evalBool(ctx.implies(q, p), a));
+}
+
+TEST_F(EvalTest, IteSelectsBranch)
+{
+    a.boolVars["p"] = true;
+    Expr e = ctx.ite(ctx.boolVar("p"), ctx.bv(1), ctx.bv(2));
+    EXPECT_EQ(evalBv(e, a), 1u);
+    a.boolVars["p"] = false;
+    EXPECT_EQ(evalBv(e, a), 2u);
+}
+
+TEST_F(EvalTest, MemoryReadsDefaultAndExplicit)
+{
+    a.mems["m"].storeWord(0x100, 77);
+    Expr m = ctx.memVar("m");
+    EXPECT_EQ(evalBv(ctx.read(m, ctx.bv(0x100)), a), 77u);
+    EXPECT_EQ(evalBv(ctx.read(m, ctx.bv(0x200)), a), 0u); // default
+}
+
+TEST_F(EvalTest, ReadThroughStoreChain)
+{
+    Expr m = ctx.memVar("m");
+    Expr addr_a = ctx.bvVar("a");
+    Expr addr_b = ctx.bvVar("b");
+    a.bvVars["a"] = 0x10;
+    a.bvVars["b"] = 0x20;
+    a.mems["m"].storeWord(0x20, 5);
+    Expr chain = ctx.store(m, addr_a, ctx.bv(42));
+    EXPECT_EQ(evalBv(ctx.read(chain, addr_a), a), 42u);
+    EXPECT_EQ(evalBv(ctx.read(chain, addr_b), a), 5u);
+}
+
+TEST_F(EvalTest, StoreShadowsWhenAddressesCollideDynamically)
+{
+    Expr m = ctx.memVar("m");
+    Expr addr_a = ctx.bvVar("a");
+    Expr addr_b = ctx.bvVar("b");
+    a.bvVars["a"] = 0x30;
+    a.bvVars["b"] = 0x30; // dynamic alias, not syntactic
+    Expr chain = ctx.store(m, addr_a, ctx.bv(9));
+    EXPECT_EQ(evalBv(ctx.read(chain, addr_b), a), 9u);
+}
+
+TEST_F(EvalTest, ConcreteMemoryWordGranularity)
+{
+    ConcreteMemory mem;
+    mem.storeWord(0x100, 1);
+    EXPECT_TRUE(mem.contains(0x100));
+    EXPECT_FALSE(mem.contains(0x108));
+    EXPECT_EQ(mem.load(0x100), 1u);
+    mem.defaultValue = 99;
+    EXPECT_EQ(mem.load(0x108), 99u);
+}
+
+TEST_F(EvalTest, NestedReadAddress)
+{
+    // mem[mem[a]]: pointer chasing as in the stride template.
+    Expr m = ctx.memVar("m");
+    a.bvVars["a"] = 0x40;
+    a.mems["m"].storeWord(0x40, 0x80);
+    a.mems["m"].storeWord(0x80, 1234);
+    Expr inner = ctx.read(m, ctx.bvVar("a"));
+    EXPECT_EQ(evalBv(ctx.read(m, inner), a), 1234u);
+}
+
+} // namespace
+} // namespace scamv::expr

@@ -1,0 +1,151 @@
+/** @file Tests for the experiment database (EmbExp-Logs stand-in). */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/expdb.hh"
+#include "core/pipeline.hh"
+
+namespace scamv::core {
+namespace {
+
+ExperimentRecord
+record(const std::string &prog, harness::Verdict v,
+       const std::string &path = "T")
+{
+    ExperimentRecord r;
+    r.programName = prog;
+    r.pathId = path;
+    r.verdict = v;
+    r.totalReps = 10;
+    r.differingReps = v == harness::Verdict::Counterexample ? 10 : 0;
+    return r;
+}
+
+TEST(ExpDb, CountsByVerdict)
+{
+    ExperimentDb db;
+    db.add(record("p0", harness::Verdict::Counterexample));
+    db.add(record("p0", harness::Verdict::Indistinguishable));
+    db.add(record("p1", harness::Verdict::Inconclusive));
+    db.add(record("p1", harness::Verdict::Counterexample));
+    EXPECT_EQ(db.size(), 4u);
+    EXPECT_EQ(db.countByVerdict(harness::Verdict::Counterexample), 2u);
+    EXPECT_EQ(db.countByVerdict(harness::Verdict::Inconclusive), 1u);
+    EXPECT_EQ(db.countByVerdict(harness::Verdict::Indistinguishable),
+              1u);
+}
+
+TEST(ExpDb, CounterexampleQueries)
+{
+    ExperimentDb db;
+    db.add(record("p0", harness::Verdict::Counterexample, "T"));
+    db.add(record("p0", harness::Verdict::Counterexample, "F"));
+    db.add(record("p1", harness::Verdict::Counterexample, "T"));
+    db.add(record("p2", harness::Verdict::Indistinguishable, "T"));
+    EXPECT_EQ(db.counterexamples().size(), 3u);
+    auto by_prog = db.counterexamplesByProgram();
+    EXPECT_EQ(by_prog.size(), 2u);
+    EXPECT_EQ(by_prog["p0"], 2);
+    EXPECT_EQ(by_prog["p1"], 1);
+    auto by_path = db.counterexamplesByPath();
+    EXPECT_EQ(by_path["T"], 2);
+    EXPECT_EQ(by_path["F"], 1);
+}
+
+TEST(ExpDb, SummaryMentionsCounts)
+{
+    ExperimentDb db;
+    db.add(record("p0", harness::Verdict::Counterexample));
+    db.add(record("p1", harness::Verdict::Inconclusive));
+    const std::string s = db.summary();
+    EXPECT_NE(s.find("2 experiments"), std::string::npos);
+    EXPECT_NE(s.find("1 counterexamples"), std::string::npos);
+    EXPECT_NE(s.find("1 inconclusive"), std::string::npos);
+}
+
+TEST(ExpDb, CsvExportRoundTrip)
+{
+    ExperimentDb db;
+    ExperimentRecord r = record("prog-x", harness::Verdict::Counterexample);
+    r.testCase.s1.regs.regs[3] = 0x80000;
+    r.testCase.s1.mem = {{0x80008, 0x42}};
+    r.testCase.s2.regs.regs[3] = 0x80040;
+    r.trained = true;
+    db.add(r);
+
+    const std::string path = "/tmp/scamv_expdb_test.csv";
+    ASSERT_TRUE(db.exportCsv(path));
+    std::ifstream f(path);
+    std::stringstream contents;
+    contents << f.rdbuf();
+    const std::string csv = contents.str();
+    EXPECT_NE(csv.find("program,path,trained"), std::string::npos);
+    EXPECT_NE(csv.find("prog-x"), std::string::npos);
+    EXPECT_NE(csv.find("counterexample"), std::string::npos);
+    EXPECT_NE(csv.find("x3=0x80000"), std::string::npos);
+    EXPECT_NE(csv.find("0x80008=0x42"), std::string::npos);
+    EXPECT_NE(csv.find("yes"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ExpDb, PipelineRecordsEveryExperiment)
+{
+    ExperimentDb db;
+    PipelineConfig cfg;
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    cfg.programs = 4;
+    cfg.testsPerProgram = 5;
+    cfg.seed = 77;
+    cfg.database = &db;
+    RunStats stats = Pipeline(cfg).run();
+
+    EXPECT_EQ(db.size(), static_cast<std::size_t>(stats.experiments));
+    EXPECT_EQ(db.countByVerdict(harness::Verdict::Counterexample),
+              static_cast<std::size_t>(stats.counterexamples));
+    EXPECT_EQ(db.counterexamplesByProgram().size(),
+              static_cast<std::size_t>(stats.programsWithCex));
+    // Records carry real content.
+    for (const auto &r : db.all()) {
+        EXPECT_FALSE(r.programName.empty());
+        EXPECT_FALSE(r.programText.empty());
+        EXPECT_TRUE(r.trained);
+        EXPECT_EQ(r.totalReps, 10);
+    }
+}
+
+TEST(ExpDb, CounterexamplePatternMining)
+{
+    // The Section 1 use case: inspect collected counterexamples for a
+    // pattern — here, that every Template A counterexample's states
+    // differ in the pointed-to memory word (the SiSCloak signature).
+    ExperimentDb db;
+    PipelineConfig cfg;
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    cfg.programs = 5;
+    cfg.testsPerProgram = 5;
+    cfg.seed = 78;
+    cfg.database = &db;
+    Pipeline(cfg).run();
+
+    auto cexs = db.counterexamples();
+    ASSERT_FALSE(cexs.empty());
+    for (const auto *r : cexs) {
+        const bool regs_differ =
+            r->testCase.s1.regs.regs != r->testCase.s2.regs.regs;
+        const bool mem_differs = r->testCase.s1.mem != r->testCase.s2.mem;
+        EXPECT_TRUE(regs_differ || mem_differs);
+    }
+}
+
+} // namespace
+} // namespace scamv::core

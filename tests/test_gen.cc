@@ -1,0 +1,218 @@
+/** @file Unit tests for the template program generators. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bir/cfg.hh"
+#include "gen/templates.hh"
+
+namespace scamv::gen {
+namespace {
+
+using bir::InstrKind;
+
+class TemplateTest
+    : public ::testing::TestWithParam<TemplateKind>
+{
+};
+
+TEST_P(TemplateTest, ProgramsAlwaysValidate)
+{
+    ProgramGenerator g(GetParam(), 1);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(g.next().validate(), "") << i;
+}
+
+TEST_P(TemplateTest, DeterministicFromSeed)
+{
+    ProgramGenerator a(GetParam(), 7), b(GetParam(), 7);
+    for (int i = 0; i < 10; ++i) {
+        // Names include a counter; compare the rendering of the body.
+        EXPECT_EQ(a.next().toString(), b.next().toString());
+    }
+}
+
+TEST_P(TemplateTest, DifferentSeedsProduceVariety)
+{
+    ProgramGenerator a(GetParam(), 1), b(GetParam(), 2);
+    int same = 0;
+    for (int i = 0; i < 20; ++i)
+        same += a.next().toString() == b.next().toString();
+    EXPECT_LT(same, 15);
+}
+
+TEST_P(TemplateTest, ProgramsAreAcyclic)
+{
+    ProgramGenerator g(GetParam(), 3);
+    for (int i = 0; i < 20; ++i) {
+        bir::Program p = g.next();
+        EXPECT_TRUE(bir::Cfg(p).acyclic()) << p.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplates, TemplateTest,
+    ::testing::Values(TemplateKind::Stride, TemplateKind::A,
+                      TemplateKind::B, TemplateKind::C, TemplateKind::D),
+    [](const ::testing::TestParamInfo<TemplateKind> &info) {
+        switch (info.param) {
+          case TemplateKind::Stride: return std::string("Stride");
+          case TemplateKind::A: return std::string("A");
+          case TemplateKind::B: return std::string("B");
+          case TemplateKind::C: return std::string("C");
+          case TemplateKind::D: return std::string("D");
+        }
+        return std::string("Unknown");
+    });
+
+TEST(StrideTemplate, ThreeToFiveEquidistantLoads)
+{
+    ProgramGenerator g(TemplateKind::Stride, 11);
+    for (int i = 0; i < 30; ++i) {
+        bir::Program p = g.next();
+        int loads = 0;
+        std::uint64_t prev = 0;
+        std::int64_t delta = -1;
+        bool equidistant = true;
+        for (const auto &ins : p.instrs()) {
+            if (ins.kind != InstrKind::Load)
+                continue;
+            if (!ins.useImm)
+                continue;
+            if (loads > 0) {
+                const std::int64_t d =
+                    static_cast<std::int64_t>(ins.imm - prev);
+                if (loads == 1)
+                    delta = d;
+                else if (d != delta && ins.imm != 0)
+                    equidistant = false;
+            }
+            prev = ins.imm;
+            ++loads;
+        }
+        EXPECT_GE(loads, 3);
+        EXPECT_LE(loads, 6); // 5 stride loads + optional pointer chase
+        EXPECT_TRUE(equidistant) << p.toString();
+        EXPECT_EQ(p.branchCount(), 0);
+    }
+}
+
+TEST(StrideTemplate, DistanceIsLineMultiple)
+{
+    ProgramGenerator g(TemplateKind::Stride, 13);
+    for (int i = 0; i < 30; ++i) {
+        bir::Program p = g.next();
+        for (const auto &ins : p.instrs())
+            if (ins.kind == InstrKind::Load && ins.useImm) {
+                EXPECT_EQ(ins.imm % 64, 0u);
+            }
+    }
+}
+
+TEST(TemplateA, StructureAndSideConstraints)
+{
+    ProgramGenerator g(TemplateKind::A, 17);
+    for (int i = 0; i < 50; ++i) {
+        bir::Program p = g.next();
+        ASSERT_EQ(p.size(), 4u) << p.toString();
+        EXPECT_EQ(p[0].kind, InstrKind::Load);
+        EXPECT_EQ(p[1].kind, InstrKind::Branch);
+        EXPECT_EQ(p[2].kind, InstrKind::Load);
+        EXPECT_EQ(p[3].kind, InstrKind::Halt);
+        // Body load is indexed by the first load's destination.
+        EXPECT_EQ(p[2].rm, p[0].rd);
+        // r2 != r1 and r4 not in {r1, r2}.
+        const int r1 = p[0].rm, r2 = p[0].rd, r4 = p[1].rm;
+        EXPECT_NE(r2, r1);
+        EXPECT_NE(r4, r1);
+        EXPECT_NE(r4, r2);
+    }
+}
+
+TEST(TemplateB, LoadCountsInRange)
+{
+    ProgramGenerator g(TemplateKind::B, 19);
+    std::set<int> pre_counts, body_counts;
+    for (int i = 0; i < 60; ++i) {
+        bir::Program p = g.next();
+        int branch_at = -1;
+        for (std::size_t j = 0; j < p.size(); ++j)
+            if (p[j].kind == InstrKind::Branch)
+                branch_at = static_cast<int>(j);
+        ASSERT_GE(branch_at, 0);
+        pre_counts.insert(branch_at);
+        int body = 0;
+        for (std::size_t j = branch_at + 1; j < p.size(); ++j)
+            body += p[j].kind == InstrKind::Load;
+        body_counts.insert(body);
+        EXPECT_GE(body, 1);
+        EXPECT_LE(body, 2);
+        EXPECT_LE(branch_at, 2);
+    }
+    EXPECT_GE(pre_counts.size(), 2u); // variety: 0..2 pre-loads
+    EXPECT_EQ(body_counts.size(), 2u);
+}
+
+TEST(TemplateC, SecondLoadDependsOnFirst)
+{
+    ProgramGenerator g(TemplateKind::C, 23);
+    for (int i = 0; i < 50; ++i) {
+        bir::Program p = g.next();
+        // Find the two body loads.
+        std::vector<std::size_t> loads;
+        std::size_t branch_at = 0;
+        for (std::size_t j = 0; j < p.size(); ++j) {
+            if (p[j].kind == InstrKind::Branch)
+                branch_at = j;
+            if (p[j].kind == InstrKind::Load && j > branch_at &&
+                branch_at > 0)
+                loads.push_back(j);
+        }
+        // (branch may be instruction 0 when there is no pre-load)
+        loads.clear();
+        for (std::size_t j = 0; j < p.size(); ++j)
+            if (p[j].kind == InstrKind::Branch)
+                branch_at = j;
+        for (std::size_t j = branch_at + 1; j < p.size(); ++j)
+            if (p[j].kind == InstrKind::Load)
+                loads.push_back(j);
+        ASSERT_EQ(loads.size(), 2u) << p.toString();
+        const bir::Reg first_dst = p[loads[0]].rd;
+        const auto srcs = p[loads[1]].sourceRegs();
+        EXPECT_TRUE(std::find(srcs.begin(), srcs.end(), first_dst) !=
+                    srcs.end())
+            << p.toString();
+    }
+}
+
+TEST(TemplateD, DeadLoadsAfterJump)
+{
+    ProgramGenerator g(TemplateKind::D, 29);
+    for (int i = 0; i < 50; ++i) {
+        bir::Program p = g.next();
+        int jump_at = -1;
+        for (std::size_t j = 0; j < p.size(); ++j)
+            if (p[j].kind == InstrKind::Jump)
+                jump_at = static_cast<int>(j);
+        ASSERT_GE(jump_at, 0) << p.toString();
+        // Jump goes to the final halt, over at least one load.
+        EXPECT_EQ(p[p[jump_at].target].kind, InstrKind::Halt);
+        int dead_loads = 0;
+        for (int j = jump_at + 1; j < p[jump_at].target; ++j)
+            dead_loads += p[j].kind == InstrKind::Load;
+        EXPECT_GE(dead_loads, 1);
+        EXPECT_EQ(p.branchCount(), 0);
+    }
+}
+
+TEST(Generator, NamesEncodeTemplateAndCounter)
+{
+    ProgramGenerator g(TemplateKind::A, 31);
+    EXPECT_EQ(g.next().name(), "Template A#0");
+    EXPECT_EQ(g.next().name(), "Template A#1");
+}
+
+} // namespace
+} // namespace scamv::gen

@@ -1,0 +1,216 @@
+/** @file Integration tests for the full validation pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "core/report.hh"
+
+namespace scamv::core {
+namespace {
+
+PipelineConfig
+baseConfig()
+{
+    PipelineConfig cfg;
+    cfg.programs = 6;
+    cfg.testsPerProgram = 8;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(Pipeline, NeedsSpecInstrumentationDetection)
+{
+    PipelineConfig cfg;
+    cfg.model = obs::ModelKind::Mct;
+    EXPECT_FALSE(needsSpecInstrumentation(cfg));
+    cfg.refinement = obs::ModelKind::Mspec;
+    EXPECT_TRUE(needsSpecInstrumentation(cfg));
+    cfg.refinement.reset();
+    cfg.model = obs::ModelKind::Mspec1;
+    EXPECT_TRUE(needsSpecInstrumentation(cfg));
+}
+
+TEST(Pipeline, ScaledHelpers)
+{
+    EXPECT_EQ(scaled(100, 0.5), 50);
+    EXPECT_EQ(scaled(3, 0.1), 1); // never below 1
+    EXPECT_EQ(scaled(10, 1.0), 10);
+}
+
+TEST(Pipeline, MpartWithRefinementFindsPrefetchCounterexamples)
+{
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::Stride;
+    cfg.model = obs::ModelKind::Mpart;
+    cfg.refinement = obs::ModelKind::MpartRefined;
+    cfg.coverage = Coverage::PcAndLine;
+    cfg.programs = 12;
+    cfg.testsPerProgram = 12;
+    cfg.modelParams.attacker.loSet = 61;
+    cfg.platform.visibleLoSet = 61;
+    cfg.platform.visibleHiSet = 127;
+    RunStats stats = Pipeline(cfg).run();
+    EXPECT_EQ(stats.programs, 12);
+    EXPECT_GT(stats.experiments, 0);
+    // Prefetching breaks cache colouring: refinement must expose it.
+    EXPECT_GT(stats.counterexamples, 0);
+    EXPECT_GT(stats.programsWithCex, 0);
+    EXPECT_GE(stats.ttcSeconds, 0.0);
+}
+
+TEST(Pipeline, MpartPageAlignedFindsNothing)
+{
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::Stride;
+    cfg.model = obs::ModelKind::Mpart;
+    cfg.refinement = obs::ModelKind::MpartRefined;
+    cfg.coverage = Coverage::PcAndLine;
+    cfg.programs = 10;
+    cfg.testsPerProgram = 10;
+    cfg.modelParams.attacker.loSet = 64; // page aligned
+    cfg.platform.visibleLoSet = 64;
+    cfg.platform.visibleHiSet = 127;
+    RunStats stats = Pipeline(cfg).run();
+    // The prefetcher stops at the page boundary: colouring holds.
+    EXPECT_EQ(stats.counterexamples, 0);
+    EXPECT_LT(stats.ttcSeconds, 0.0);
+}
+
+TEST(Pipeline, MctTemplateAWithMspecFindsSiSCloak)
+{
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    RunStats stats = Pipeline(cfg).run();
+    EXPECT_GT(stats.experiments, 0);
+    EXPECT_GT(stats.counterexamples, 0);
+}
+
+TEST(Pipeline, MctTemplateAWithoutRefinementFindsLittle)
+{
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.train = true;
+    RunStats stats = Pipeline(cfg).run();
+    // Canonical models are too similar to trigger the leak; allow a
+    // rare lucky hit but require a clear gap to the refined run.
+    PipelineConfig refined = cfg;
+    refined.refinement = obs::ModelKind::Mspec;
+    RunStats refined_stats = Pipeline(refined).run();
+    EXPECT_LT(stats.counterexamples, refined_stats.counterexamples);
+}
+
+TEST(Pipeline, Mspec1OnTemplateCIsSound)
+{
+    // Dependent transient loads never issue on the A53 core: Mspec1
+    // validates cleanly on Template C (Fig. 7, col 3).
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::C;
+    cfg.model = obs::ModelKind::Mspec1;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    RunStats stats = Pipeline(cfg).run();
+    EXPECT_EQ(stats.counterexamples, 0);
+}
+
+TEST(Pipeline, MctOnTemplateDStraightLineIsSound)
+{
+    // No straight-line speculation on direct jumps (Fig. 7, col 5).
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::D;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.rewriteJumps = true; // Mspec'
+    cfg.train = false;       // no conditional branches to train
+    RunStats stats = Pipeline(cfg).run();
+    EXPECT_GT(stats.experiments, 0);
+    EXPECT_EQ(stats.counterexamples, 0);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    cfg.programs = 3;
+    cfg.testsPerProgram = 5;
+    RunStats a = Pipeline(cfg).run();
+    RunStats b = Pipeline(cfg).run();
+    EXPECT_EQ(a.experiments, b.experiments);
+    EXPECT_EQ(a.counterexamples, b.counterexamples);
+    EXPECT_EQ(a.inconclusive, b.inconclusive);
+}
+
+TEST(Pipeline, SamplerStrategyAlsoWorks)
+{
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    cfg.strategy = SolveStrategy::Sampler;
+    cfg.programs = 4;
+    cfg.testsPerProgram = 6;
+    RunStats stats = Pipeline(cfg).run();
+    EXPECT_GT(stats.experiments, 0);
+}
+
+TEST(Pipeline, NoiseYieldsInconclusives)
+{
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::Stride;
+    cfg.model = obs::ModelKind::Mpart;
+    cfg.refinement = obs::ModelKind::MpartRefined;
+    cfg.coverage = Coverage::PcAndLine;
+    cfg.platform.noiseProbability = 0.3;
+    cfg.platform.visibleLoSet = 61;
+    cfg.platform.visibleHiSet = 127;
+    cfg.modelParams.attacker.loSet = 61;
+    cfg.programs = 8;
+    cfg.testsPerProgram = 10;
+    RunStats stats = Pipeline(cfg).run();
+    EXPECT_GT(stats.inconclusive, 0);
+}
+
+TEST(Report, CampaignTableRendersAllRows)
+{
+    RunStats s;
+    s.programs = 10;
+    s.programsWithCex = 3;
+    s.experiments = 100;
+    s.counterexamples = 12;
+    s.inconclusive = 4;
+    s.ttcSeconds = 1.5;
+    TextTable t = renderCampaignTable(
+        {{"Mct", "Template A", "No", "Mpc"}}, {s});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Mct"), std::string::npos);
+    EXPECT_NE(out.find("Programs"), std::string::npos);
+    EXPECT_NE(out.find("100"), std::string::npos);
+    EXPECT_NE(out.find("T.T.C."), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+}
+
+TEST(Report, ChecklistRatios)
+{
+    RunStats base, refined;
+    base.programsWithCex = 2;
+    base.counterexamples = 10;
+    base.ttcSeconds = 100.0;
+    refined.programsWithCex = 8;
+    refined.counterexamples = 200;
+    refined.ttcSeconds = 5.0;
+    const std::string out =
+        renderChecklist(base, refined).render();
+    EXPECT_NE(out.find("4.0x"), std::string::npos);  // programs ratio
+    EXPECT_NE(out.find("20.0x"), std::string::npos); // cex ratio
+    EXPECT_NE(out.find("faster"), std::string::npos);
+}
+
+} // namespace
+} // namespace scamv::core

@@ -1,0 +1,117 @@
+/** @file Tests for automatic model repair (Section 8 future work). */
+
+#include <gtest/gtest.h>
+
+#include "core/repair.hh"
+
+namespace scamv::core {
+namespace {
+
+RepairConfig
+makeConfig(gen::TemplateKind kind, bool train)
+{
+    RepairConfig config;
+    config.campaign.templateKind = kind;
+    config.campaign.train = train;
+    config.campaign.programs = 8;
+    config.campaign.testsPerProgram = 10;
+    config.campaign.seed = 555;
+    return config;
+}
+
+TEST(Repair, LatticesAreMonotone)
+{
+    using obs::ModelKind;
+    EXPECT_EQ(repairLattice(ModelKind::Mct),
+              (std::vector<ModelKind>{ModelKind::Mct, ModelKind::Mspec1,
+                                      ModelKind::Mspec}));
+    EXPECT_EQ(repairLattice(ModelKind::Mpart),
+              (std::vector<ModelKind>{ModelKind::Mpart,
+                                      ModelKind::MpartRefined}));
+    EXPECT_EQ(repairLattice(ModelKind::Mspec),
+              (std::vector<ModelKind>{ModelKind::Mspec}));
+}
+
+TEST(Repair, MctOnTemplateARepairsToMspec1OrStronger)
+{
+    // SiSCloak leaks through Mct (single speculative load).  Mspec1
+    // observes exactly that first transient load, so the repaired
+    // model must be at least Mspec1.
+    RepairResult r = repairModel(obs::ModelKind::Mct,
+                                 makeConfig(gen::TemplateKind::A, true));
+    ASSERT_FALSE(r.attempts.empty());
+    EXPECT_EQ(r.attempts[0].model, obs::ModelKind::Mct);
+    EXPECT_FALSE(r.attempts[0].sound);
+    ASSERT_TRUE(r.repaired.has_value());
+    EXPECT_NE(*r.repaired, obs::ModelKind::Mct);
+}
+
+TEST(Repair, Mspec1SufficesForTemplateC)
+{
+    // Template C's transient loads are causally dependent: only the
+    // first one issues, so observing it (Mspec1) restores soundness.
+    RepairResult r = repairModel(obs::ModelKind::Mct,
+                                 makeConfig(gen::TemplateKind::C, true));
+    ASSERT_TRUE(r.repaired.has_value());
+    EXPECT_EQ(*r.repaired, obs::ModelKind::Mspec1);
+}
+
+TEST(Repair, TemplateBNeedsFullMspec)
+{
+    // Template B generates independent transient loads: Mspec1 is
+    // still unsound and the repair must escalate to Mspec.
+    RepairConfig cfg = makeConfig(gen::TemplateKind::B, true);
+    cfg.campaign.programs = 16; // independent-load programs are a subset
+    RepairResult r = repairModel(obs::ModelKind::Mct, cfg);
+    ASSERT_TRUE(r.repaired.has_value());
+    EXPECT_EQ(*r.repaired, obs::ModelKind::Mspec);
+    ASSERT_EQ(r.attempts.size(), 3u);
+    EXPECT_FALSE(r.attempts[0].sound); // Mct
+    EXPECT_FALSE(r.attempts[1].sound); // Mspec1
+    EXPECT_TRUE(r.attempts[2].sound);  // Mspec
+}
+
+TEST(Repair, MpartRepairsToMpartRefined)
+{
+    RepairConfig cfg = makeConfig(gen::TemplateKind::Stride, false);
+    cfg.campaign.coverage = Coverage::PcAndLine;
+    cfg.campaign.modelParams.attacker.loSet = 61;
+    cfg.campaign.platform.visibleLoSet = 61;
+    cfg.campaign.platform.visibleHiSet = 127;
+    cfg.campaign.programs = 20;
+    cfg.campaign.testsPerProgram = 20;
+    RepairResult r = repairModel(obs::ModelKind::Mpart, cfg);
+    ASSERT_FALSE(r.attempts.empty());
+    EXPECT_FALSE(r.attempts[0].sound); // prefetching breaks Mpart
+    ASSERT_TRUE(r.repaired.has_value());
+    EXPECT_EQ(*r.repaired, obs::ModelKind::MpartRefined);
+}
+
+TEST(Repair, AlreadySoundModelNeedsNoRepair)
+{
+    // On Template D (no conditional branches) Mct has no speculative
+    // leakage at all: the original model validates cleanly.
+    RepairResult r = repairModel(obs::ModelKind::Mct,
+                                 makeConfig(gen::TemplateKind::D,
+                                            false));
+    ASSERT_TRUE(r.repaired.has_value());
+    EXPECT_EQ(*r.repaired, obs::ModelKind::Mct);
+    EXPECT_EQ(r.attempts.size(), 1u);
+}
+
+TEST(Repair, AttemptsRecordStats)
+{
+    RepairResult r = repairModel(obs::ModelKind::Mct,
+                                 makeConfig(gen::TemplateKind::A, true));
+    for (const auto &attempt : r.attempts) {
+        // Either experiments ran, or the attempt is flagged vacuous
+        // (the refinement adds no observations on this template —
+        // e.g. Mspec1 already covers Template A's single body load).
+        EXPECT_TRUE(attempt.stats.experiments > 0 || attempt.vacuous);
+        EXPECT_EQ(attempt.sound,
+                  attempt.stats.counterexamples == 0);
+    }
+}
+
+} // namespace
+} // namespace scamv::core

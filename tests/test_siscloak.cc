@@ -1,0 +1,225 @@
+/** @file End-to-end tests of the Fig. 6 counterexamples: the
+ * Spectre-PHT variant and the SiSCloak bit-cloaking attack, including
+ * full secret recovery with Flush+Reload. */
+
+#include <gtest/gtest.h>
+
+#include "bir/asm.hh"
+#include "harness/flush_reload.hh"
+#include "harness/platform.hh"
+
+namespace scamv {
+namespace {
+
+using harness::FlushReloadAttacker;
+
+// Memory layout of the demos.
+constexpr std::uint64_t kArrayA = 0x80000;      // victim array A
+constexpr std::uint64_t kArrayB = 0x90000;      // shared probe array B
+constexpr std::uint64_t kSizeSlot = kArrayA - 8; // #A-size
+
+/**
+ * Fig. 6, middle column: Spectre-PHT variant where the first load is
+ * hoisted before the bounds check.
+ *
+ *     ldr x2, [#A + x0]      ; anticipated load
+ *     if x0 < x1:            ; bounds check (x1 = size of A)
+ *         ldr x3, [#B + x2]  ; dependent access (leaks x2)
+ */
+bir::Program
+siscloakVariant1()
+{
+    auto r = bir::assemble(
+        // x5 = #A, x6 = #B, x0 = attacker index, x1 = bound
+        "ldr x2, [x5, x0]\n"
+        "b.geu x0, x1, end\n"
+        "ldr x3, [x6, x2]\n"
+        "end: ret\n",
+        "siscloak-v1");
+    EXPECT_TRUE(r.ok()) << r.error;
+    return r.program;
+}
+
+/**
+ * Fig. 6, right column: classification bit cloaking.  The high bit of
+ * an element of A marks it secret; the branch guards the B access.
+ *
+ *     ldr x2, [#A + x0]
+ *     if (x2 & 0x80000000) == 0:   ; public?
+ *         ldr x3, [#B + x2]
+ */
+bir::Program
+siscloakVariant2()
+{
+    auto r = bir::assemble("ldr x2, [x5, x0]\n"
+                           "and x4, x2, #0x80000000\n"
+                           "b.ne x4, #0, end\n"
+                           "ldr x3, [x6, x2]\n"
+                           "end: ret\n",
+                           "siscloak-v2");
+    EXPECT_TRUE(r.ok()) << r.error;
+    return r.program;
+}
+
+TEST(SiSCloak, Variant1CacheStateDiffersOnSecret)
+{
+    // Two states, identical except for the out-of-bounds element that
+    // only a speculative load can reach.
+    harness::Platform platform(harness::PlatformConfig{});
+    bir::Program p = siscloakVariant1();
+
+    harness::TestCase tc;
+    auto mk = [&](std::uint64_t secret) {
+        harness::ProgramInput in;
+        in.regs.regs[5] = kArrayA;
+        in.regs.regs[6] = kArrayB;
+        in.regs.regs[0] = 512; // out of bounds (size 256)
+        in.regs.regs[1] = 256;
+        in.mem = {{kArrayA + 512, secret}};
+        return in;
+    };
+    tc.s1 = mk(3 * 64);
+    tc.s2 = mk(9 * 64);
+
+    // Training input: in-bounds index, branch not taken (x0 < x1).
+    harness::ProgramInput train;
+    train.regs.regs[5] = kArrayA;
+    train.regs.regs[6] = kArrayB;
+    train.regs.regs[0] = 8;
+    train.regs.regs[1] = 256;
+    train.mem = {{kArrayA + 8, 0}};
+
+    auto r = platform.runExperiment(p, tc, train);
+    EXPECT_EQ(r.verdict, harness::Verdict::Counterexample);
+    // Without mistraining, the bounds check predicts correctly and
+    // nothing leaks.
+    auto clean = platform.runExperiment(p, tc);
+    EXPECT_EQ(clean.verdict, harness::Verdict::Indistinguishable);
+}
+
+/** Run the victim once on a prepared core and return hot B-lines. */
+std::vector<int>
+flushRunReload(hw::Core &core, const bir::Program &p,
+               const hw::ArchState &state, int lines)
+{
+    FlushReloadAttacker attacker(kArrayB, lines);
+    attacker.flush(core);
+    core.run(p, state);
+    return attacker.hotLines(core);
+}
+
+TEST(SiSCloak, Variant1FullAttackRecoversSecret)
+{
+    // The real attack of Section 6.4: recover the secret byte stored
+    // out of bounds, via Flush+Reload on B and the PMC cycle counter.
+    bir::Program p = siscloakVariant1();
+    hw::Core core;
+
+    const std::uint64_t secret_line = 13; // value to recover (0..31)
+    core.memory().store(kArrayA + 512, secret_line * 64);
+    core.memory().store(kSizeSlot, 256);
+
+    hw::ArchState train_state;
+    train_state.regs[5] = kArrayA;
+    train_state.regs[6] = kArrayB;
+    train_state.regs[1] = 256;
+
+    // Phase 1: train the bounds check to pass.
+    for (int i = 0; i < 4; ++i) {
+        train_state.regs[0] = 8 * i;
+        core.memory().store(kArrayA + 8 * i, 0);
+        core.run(p, train_state);
+    }
+
+    // Phase 2: flush B, supply the out-of-bounds index, reload.
+    hw::ArchState attack_state = train_state;
+    attack_state.regs[0] = 512;
+    auto hot = flushRunReload(core, p, attack_state, 32);
+
+    // The architectural load of A[512] and the transient B access are
+    // in different arrays; only the secret-indexed B line can be hot.
+    ASSERT_EQ(hot.size(), 1u);
+    EXPECT_EQ(hot[0], static_cast<int>(secret_line));
+}
+
+TEST(SiSCloak, Variant2LeaksClassifiedElement)
+{
+    bir::Program p = siscloakVariant2();
+    hw::Core core;
+
+    // A[x0] holds a secret element: high classification bit set, low
+    // bits are the sensitive value.
+    const std::uint64_t secret_value = 21;
+    core.memory().store(kArrayA + 64,
+                        0x80000000ULL | (secret_value * 64));
+
+    hw::ArchState st;
+    st.regs[5] = kArrayA;
+    st.regs[6] = kArrayB;
+
+    // Train with public elements (high bit clear): branch not taken.
+    for (int i = 0; i < 4; ++i) {
+        st.regs[0] = 8 * i;
+        core.memory().store(kArrayA + 8 * i, (i % 4) * 64);
+        core.run(p, st);
+    }
+
+    // Attack: index the classified element.  Architecturally the
+    // branch is taken (secret), but the predictor says "public".
+    st.regs[0] = 64;
+    FlushReloadAttacker attacker(kArrayB, 4096 / 64 * 2);
+    attacker.flush(core);
+    core.run(p, st);
+    auto hot = attacker.hotLines(core);
+    // The transient ldr x3, [#B + x2] used the full x2 including the
+    // classification bit... the address wraps far beyond B; what
+    // leaks is that *some* B-relative line keyed by x2 was fetched.
+    // Recover the low bits by probing B + 0x80000000 + i*64 instead.
+    FlushReloadAttacker wide(kArrayB + 0x80000000ULL, 32);
+    hw::Core core2;
+    core2.memory().store(kArrayA + 64,
+                         0x80000000ULL | (secret_value * 64));
+    hw::ArchState st2 = st;
+    for (int i = 0; i < 4; ++i) {
+        st2.regs[0] = 8 * i;
+        core2.memory().store(kArrayA + 8 * i, (i % 4) * 64);
+        core2.run(p, st2);
+    }
+    st2.regs[0] = 64;
+    wide.flush(core2);
+    core2.run(p, st2);
+    auto hot2 = wide.hotLines(core2);
+    ASSERT_EQ(hot2.size(), 1u);
+    EXPECT_EQ(hot2[0], static_cast<int>(secret_value));
+    (void)hot;
+}
+
+TEST(SiSCloak, DependentVariantDoesNotLeakOnA53)
+{
+    // Classic Spectre-PHT (both loads inside the branch) is blocked
+    // by the no-forwarding rule: the B access never issues.
+    auto r = bir::assemble("b.geu x0, x1, end\n"
+                           "ldr x2, [x5, x0]\n"
+                           "ldr x3, [x6, x2]\n"
+                           "end: ret\n",
+                           "spectre-pht");
+    ASSERT_TRUE(r.ok()) << r.error;
+    bir::Program p = r.program;
+
+    hw::Core core;
+    core.memory().store(kArrayA + 512, 13 * 64);
+    hw::ArchState st;
+    st.regs[5] = kArrayA;
+    st.regs[6] = kArrayB;
+    st.regs[1] = 256;
+    for (int i = 0; i < 4; ++i) {
+        st.regs[0] = 8 * i;
+        core.run(p, st);
+    }
+    st.regs[0] = 512;
+    auto hot = flushRunReload(core, p, st, 32);
+    EXPECT_TRUE(hot.empty()); // Cortex-A53 claim: no Spectre-PHT
+}
+
+} // namespace
+} // namespace scamv

@@ -1,0 +1,97 @@
+/** @file Tests for the SMT-LIB 2 exporter. */
+
+#include <gtest/gtest.h>
+
+#include "smt/smtlib.hh"
+
+namespace scamv::smt {
+namespace {
+
+using expr::Expr;
+using expr::ExprContext;
+
+TEST(SmtLib, Constants)
+{
+    ExprContext ctx;
+    EXPECT_EQ(termToSmtLib(ctx.bv(42)), "(_ bv42 64)");
+    EXPECT_EQ(termToSmtLib(ctx.tru()), "true");
+    EXPECT_EQ(termToSmtLib(ctx.fls()), "false");
+}
+
+TEST(SmtLib, SimpleVariablesKeepNames)
+{
+    ExprContext ctx;
+    EXPECT_EQ(termToSmtLib(ctx.bvVar("x0_1")), "x0_1");
+    EXPECT_EQ(termToSmtLib(ctx.memVar("mem_1")), "mem_1");
+}
+
+TEST(SmtLib, OddNamesAreQuoted)
+{
+    ExprContext ctx;
+    EXPECT_EQ(termToSmtLib(ctx.bvVar("mem_1!rd0")), "|mem_1!rd0|");
+}
+
+TEST(SmtLib, OperatorsRenderPrefix)
+{
+    ExprContext ctx;
+    Expr a = ctx.bvVar("a");
+    Expr b = ctx.bvVar("b");
+    EXPECT_EQ(termToSmtLib(ctx.add(a, b)), "(bvadd a b)");
+    EXPECT_EQ(termToSmtLib(ctx.ult(a, b)), "(bvult a b)");
+    const std::string ite =
+        termToSmtLib(ctx.ite(ctx.ult(a, b), a, b));
+    EXPECT_EQ(ite, "(ite (bvult a b) a b)");
+}
+
+TEST(SmtLib, MemoryOperations)
+{
+    ExprContext ctx;
+    Expr m = ctx.memVar("m");
+    Expr a = ctx.bvVar("a");
+    EXPECT_EQ(termToSmtLib(ctx.read(m, a)), "(select m a)");
+    const std::string stored =
+        termToSmtLib(ctx.read(ctx.store(m, a, ctx.bv(1)),
+                              ctx.bvVar("b")));
+    EXPECT_EQ(stored, "(select (store m a (_ bv1 64)) b)");
+}
+
+TEST(SmtLib, ScriptDeclaresAllVariables)
+{
+    ExprContext ctx;
+    Expr f = ctx.land(
+        ctx.eq(ctx.read(ctx.memVar("mem_1"), ctx.bvVar("x0_1")),
+               ctx.bv(7)),
+        ctx.lnot(ctx.boolVar("flag")));
+    const std::string script = toSmtLib(f);
+    EXPECT_NE(script.find("(set-logic QF_ABV)"), std::string::npos);
+    EXPECT_NE(script.find("(declare-const x0_1 (_ BitVec 64))"),
+              std::string::npos);
+    EXPECT_NE(script.find("(declare-const mem_1 (Array (_ BitVec 64) "
+                          "(_ BitVec 64)))"),
+              std::string::npos);
+    EXPECT_NE(script.find("(declare-const flag Bool)"),
+              std::string::npos);
+    EXPECT_NE(script.find("(assert "), std::string::npos);
+    EXPECT_NE(script.find("(check-sat)"), std::string::npos);
+}
+
+TEST(SmtLib, BalancedParentheses)
+{
+    ExprContext ctx;
+    Expr a = ctx.bvVar("a");
+    Expr f = ctx.implies(ctx.ult(a, ctx.bv(10)),
+                         ctx.eq(ctx.bvAnd(a, ctx.bv(7)), ctx.bv(4)));
+    const std::string script = toSmtLib(f);
+    int depth = 0;
+    for (char c : script) {
+        if (c == '(')
+            ++depth;
+        if (c == ')')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+} // namespace
+} // namespace scamv::smt

@@ -1,0 +1,176 @@
+/** @file Unit tests for the support library (rng, tables, stats). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/rng.hh"
+#include "support/stopwatch.hh"
+#include "support/table.hh"
+
+namespace scamv {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t v = r.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values hit
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(19);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto sorted = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(23);
+    Rng child = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == child.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, PickReturnsElement)
+{
+    Rng r(29);
+    const std::vector<int> v{10, 20, 30};
+    for (int i = 0; i < 50; ++i) {
+        const int x = r.pick(v);
+        EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+    }
+}
+
+TEST(RunningStat, Accumulates)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.total(), 12.0);
+}
+
+TEST(Stopwatch, MeasuresNonNegative)
+{
+    Stopwatch w;
+    EXPECT_GE(w.seconds(), 0.0);
+    EXPECT_GE(w.milliseconds(), 0.0);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecials)
+{
+    TextTable t;
+    t.addRow({"a,b", "say \"hi\"", "plain"});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(Format, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(Format, FmtRatioHandlesZeroDenominator)
+{
+    EXPECT_EQ(fmtRatio(10.0, 0.0), "-");
+    EXPECT_EQ(fmtRatio(10.0, 5.0), "2.0x");
+}
+
+} // namespace
+} // namespace scamv

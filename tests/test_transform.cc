@@ -1,0 +1,173 @@
+/** @file Unit tests for speculative instrumentation transforms. */
+
+#include <gtest/gtest.h>
+
+#include "bir/asm.hh"
+#include "bir/transform.hh"
+
+namespace scamv::bir {
+namespace {
+
+Program
+prog(const char *src)
+{
+    auto r = assemble(src);
+    EXPECT_TRUE(r.ok()) << r.error;
+    return r.program;
+}
+
+int
+transientCount(const Program &p)
+{
+    int n = 0;
+    for (const Instr &i : p.instrs())
+        n += i.transient;
+    return n;
+}
+
+TEST(Instrument, BranchWithBodyGetsShadowOnBothSides)
+{
+    // if-style: branch to end skips the body.
+    Program p = prog("b.ne x1, x4, end\n"
+                     "ldr x6, [x5, x2]\n"
+                     "end: ret\n");
+    Program out = instrumentSpeculation(p);
+    EXPECT_EQ(out.validate(), "");
+    // The body load is shadow-copied to the taken (end) side; the
+    // empty taken side adds nothing to the fall-through.
+    EXPECT_EQ(transientCount(out), 1);
+    // Architectural instructions preserved, plus one jump-over that
+    // shields the at-target shadow block from fall-through flow.
+    int arch = 0;
+    int jumps = 0;
+    for (const Instr &i : out.instrs()) {
+        arch += !i.transient;
+        jumps += !i.transient && i.kind == InstrKind::Jump;
+    }
+    EXPECT_EQ(arch, static_cast<int>(p.size()) + 1);
+    EXPECT_EQ(jumps, 1);
+}
+
+TEST(Instrument, ShadowPlacedAtBranchTarget)
+{
+    Program p = prog("b.ne x1, x4, end\n"
+                     "ldr x6, [x5, x2]\n"
+                     "end: ret\n");
+    Program out = instrumentSpeculation(p);
+    // Find the branch; its target must point at a transient load.
+    for (const Instr &i : out.instrs()) {
+        if (i.kind == InstrKind::Branch) {
+            ASSERT_LT(i.target, static_cast<int>(out.size()));
+            EXPECT_TRUE(out[i.target].transient);
+            EXPECT_EQ(out[i.target].kind, InstrKind::Load);
+        }
+    }
+}
+
+TEST(Instrument, DiamondGetsBothShadows)
+{
+    Program p = prog("b.eq x0, x1, then\n"
+                     "ldr x2, [x4]\n"
+                     "b join\n"
+                     "then: ldr x3, [x5]\n"
+                     "join: ret\n");
+    Program out = instrumentSpeculation(p);
+    EXPECT_EQ(out.validate(), "");
+    // Each side speculates the other's single load: 2 shadow instrs.
+    EXPECT_EQ(transientCount(out), 2);
+}
+
+TEST(Instrument, ShadowBoundedByOption)
+{
+    Program p = prog("b.ne x1, x4, end\n"
+                     "ldr x2, [x0]\n"
+                     "ldr x3, [x0]\n"
+                     "ldr x5, [x0]\n"
+                     "end: ret\n");
+    SpecInstrumentOptions opts;
+    opts.maxShadowInstrs = 2;
+    Program out = instrumentSpeculation(p, opts);
+    EXPECT_EQ(transientCount(out), 2);
+}
+
+TEST(Instrument, StoresExcludedWhenConfigured)
+{
+    Program p = prog("b.ne x1, x4, end\n"
+                     "str x2, [x0]\n"
+                     "ldr x3, [x0]\n"
+                     "end: ret\n");
+    SpecInstrumentOptions opts;
+    opts.includeStores = false;
+    Program out = instrumentSpeculation(p, opts);
+    for (const Instr &i : out.instrs())
+        if (i.transient) {
+            EXPECT_NE(i.kind, InstrKind::Store);
+        }
+    EXPECT_EQ(transientCount(out), 1);
+}
+
+TEST(Instrument, ShadowCollectionStopsAtControlFlow)
+{
+    Program p = prog("b.eq x0, x1, other\n"
+                     "ldr x2, [x4]\n"
+                     "b done\n"
+                     "ldr x3, [x4]\n" // unreachable from fall-through
+                     "other: ret\n"
+                     "done: ret\n");
+    Program out = instrumentSpeculation(p);
+    // Shadow of the fall-through side stops at `b done`, so only one
+    // load is copied to `other`; `other: ret` contributes nothing.
+    EXPECT_EQ(transientCount(out), 1);
+}
+
+TEST(Instrument, NoBranchNoChangeInBehaviour)
+{
+    Program p = prog("ldr x1, [x0]\nret\n");
+    Program out = instrumentSpeculation(p);
+    EXPECT_EQ(transientCount(out), 0);
+    EXPECT_EQ(out.size(), p.size());
+}
+
+TEST(Instrument, TransientNeverControlFlow)
+{
+    Program p = prog("b.eq x0, x1, t\n"
+                     "ldr x2, [x4]\n"
+                     "b.ne x2, x3, t\n"
+                     "ldr x5, [x4]\n"
+                     "t: ret\n");
+    Program out = instrumentSpeculation(p);
+    for (const Instr &i : out.instrs()) {
+        if (i.transient) {
+            EXPECT_NE(i.kind, InstrKind::Branch);
+            EXPECT_NE(i.kind, InstrKind::Jump);
+            EXPECT_NE(i.kind, InstrKind::Halt);
+        }
+    }
+}
+
+TEST(RewriteJumps, JumpBecomesTautologicalBranch)
+{
+    Program p = prog("b end\nldr x1, [x0]\nend: ret\n");
+    Program out = rewriteJumpsToCondBranches(p);
+    ASSERT_EQ(out.size(), p.size());
+    EXPECT_EQ(out[0].kind, InstrKind::Branch);
+    EXPECT_EQ(out[0].cmpOp, CmpOp::Eq);
+    EXPECT_EQ(out[0].rn, out[0].rm); // x0 == x0: always taken
+    EXPECT_EQ(out[0].target, 2);
+}
+
+TEST(RewriteJumps, ThenInstrumentExposesStraightLineCode)
+{
+    Program p = prog("b end\nldr x1, [x0, x2]\nend: ret\n");
+    Program out = instrumentSpeculation(rewriteJumpsToCondBranches(p));
+    EXPECT_EQ(out.validate(), "");
+    // The dead straight-line load appears as a shadow at the target.
+    EXPECT_GE(transientCount(out), 1);
+    bool shadow_load = false;
+    for (const Instr &i : out.instrs())
+        shadow_load |= i.transient && i.kind == InstrKind::Load;
+    EXPECT_TRUE(shadow_load);
+}
+
+} // namespace
+} // namespace scamv::bir
