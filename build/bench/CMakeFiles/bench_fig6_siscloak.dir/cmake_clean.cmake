@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_siscloak.dir/bench_fig6_siscloak.cpp.o"
+  "CMakeFiles/bench_fig6_siscloak.dir/bench_fig6_siscloak.cpp.o.d"
+  "bench_fig6_siscloak"
+  "bench_fig6_siscloak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_siscloak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

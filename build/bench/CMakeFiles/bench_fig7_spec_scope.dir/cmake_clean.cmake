@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_spec_scope.dir/bench_fig7_spec_scope.cpp.o"
+  "CMakeFiles/bench_fig7_spec_scope.dir/bench_fig7_spec_scope.cpp.o.d"
+  "bench_fig7_spec_scope"
+  "bench_fig7_spec_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_spec_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mpart.dir/bench_table1_mpart.cpp.o"
+  "CMakeFiles/bench_table1_mpart.dir/bench_table1_mpart.cpp.o.d"
+  "bench_table1_mpart"
+  "bench_table1_mpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_partitioning.dir/cache_partitioning.cpp.o"
+  "CMakeFiles/cache_partitioning.dir/cache_partitioning.cpp.o.d"
+  "cache_partitioning"
+  "cache_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

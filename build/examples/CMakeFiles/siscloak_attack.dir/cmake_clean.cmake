@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siscloak_attack.dir/siscloak_attack.cpp.o"
+  "CMakeFiles/siscloak_attack.dir/siscloak_attack.cpp.o.d"
+  "siscloak_attack"
+  "siscloak_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siscloak_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_models.dir/validate_models.cpp.o"
+  "CMakeFiles/validate_models.dir/validate_models.cpp.o.d"
+  "validate_models"
+  "validate_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("expr")
+subdirs("bir")
+subdirs("sym")
+subdirs("obs")
+subdirs("sat")
+subdirs("bv")
+subdirs("smt")
+subdirs("rel")
+subdirs("hw")
+subdirs("harness")
+subdirs("gen")
+subdirs("core")

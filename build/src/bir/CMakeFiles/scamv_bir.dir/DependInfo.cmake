@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bir/asm.cc" "src/bir/CMakeFiles/scamv_bir.dir/asm.cc.o" "gcc" "src/bir/CMakeFiles/scamv_bir.dir/asm.cc.o.d"
+  "/root/repo/src/bir/bir.cc" "src/bir/CMakeFiles/scamv_bir.dir/bir.cc.o" "gcc" "src/bir/CMakeFiles/scamv_bir.dir/bir.cc.o.d"
+  "/root/repo/src/bir/cfg.cc" "src/bir/CMakeFiles/scamv_bir.dir/cfg.cc.o" "gcc" "src/bir/CMakeFiles/scamv_bir.dir/cfg.cc.o.d"
+  "/root/repo/src/bir/transform.cc" "src/bir/CMakeFiles/scamv_bir.dir/transform.cc.o" "gcc" "src/bir/CMakeFiles/scamv_bir.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/scamv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

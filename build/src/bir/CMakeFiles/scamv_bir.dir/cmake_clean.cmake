@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_bir.dir/asm.cc.o"
+  "CMakeFiles/scamv_bir.dir/asm.cc.o.d"
+  "CMakeFiles/scamv_bir.dir/bir.cc.o"
+  "CMakeFiles/scamv_bir.dir/bir.cc.o.d"
+  "CMakeFiles/scamv_bir.dir/cfg.cc.o"
+  "CMakeFiles/scamv_bir.dir/cfg.cc.o.d"
+  "CMakeFiles/scamv_bir.dir/transform.cc.o"
+  "CMakeFiles/scamv_bir.dir/transform.cc.o.d"
+  "libscamv_bir.a"
+  "libscamv_bir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_bir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scamv_bir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_bv.dir/bitblast.cc.o"
+  "CMakeFiles/scamv_bv.dir/bitblast.cc.o.d"
+  "libscamv_bv.a"
+  "libscamv_bv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_bv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_core.dir/expdb.cc.o"
+  "CMakeFiles/scamv_core.dir/expdb.cc.o.d"
+  "CMakeFiles/scamv_core.dir/pipeline.cc.o"
+  "CMakeFiles/scamv_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/scamv_core.dir/repair.cc.o"
+  "CMakeFiles/scamv_core.dir/repair.cc.o.d"
+  "CMakeFiles/scamv_core.dir/report.cc.o"
+  "CMakeFiles/scamv_core.dir/report.cc.o.d"
+  "libscamv_core.a"
+  "libscamv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_expr.dir/eval.cc.o"
+  "CMakeFiles/scamv_expr.dir/eval.cc.o.d"
+  "CMakeFiles/scamv_expr.dir/expr.cc.o"
+  "CMakeFiles/scamv_expr.dir/expr.cc.o.d"
+  "libscamv_expr.a"
+  "libscamv_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

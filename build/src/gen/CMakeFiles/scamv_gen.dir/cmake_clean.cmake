@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_gen.dir/templates.cc.o"
+  "CMakeFiles/scamv_gen.dir/templates.cc.o.d"
+  "libscamv_gen.a"
+  "libscamv_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

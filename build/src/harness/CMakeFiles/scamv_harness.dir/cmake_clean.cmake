@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_harness.dir/flush_reload.cc.o"
+  "CMakeFiles/scamv_harness.dir/flush_reload.cc.o.d"
+  "CMakeFiles/scamv_harness.dir/platform.cc.o"
+  "CMakeFiles/scamv_harness.dir/platform.cc.o.d"
+  "libscamv_harness.a"
+  "libscamv_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

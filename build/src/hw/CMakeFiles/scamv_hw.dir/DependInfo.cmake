@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/scamv_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/scamv_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/core.cc" "src/hw/CMakeFiles/scamv_hw.dir/core.cc.o" "gcc" "src/hw/CMakeFiles/scamv_hw.dir/core.cc.o.d"
+  "/root/repo/src/hw/memory.cc" "src/hw/CMakeFiles/scamv_hw.dir/memory.cc.o" "gcc" "src/hw/CMakeFiles/scamv_hw.dir/memory.cc.o.d"
+  "/root/repo/src/hw/predictor.cc" "src/hw/CMakeFiles/scamv_hw.dir/predictor.cc.o" "gcc" "src/hw/CMakeFiles/scamv_hw.dir/predictor.cc.o.d"
+  "/root/repo/src/hw/prefetcher.cc" "src/hw/CMakeFiles/scamv_hw.dir/prefetcher.cc.o" "gcc" "src/hw/CMakeFiles/scamv_hw.dir/prefetcher.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/scamv_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/scamv_hw.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bir/CMakeFiles/scamv_bir.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/scamv_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/scamv_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/scamv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scamv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

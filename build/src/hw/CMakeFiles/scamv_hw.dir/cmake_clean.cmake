@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_hw.dir/cache.cc.o"
+  "CMakeFiles/scamv_hw.dir/cache.cc.o.d"
+  "CMakeFiles/scamv_hw.dir/core.cc.o"
+  "CMakeFiles/scamv_hw.dir/core.cc.o.d"
+  "CMakeFiles/scamv_hw.dir/memory.cc.o"
+  "CMakeFiles/scamv_hw.dir/memory.cc.o.d"
+  "CMakeFiles/scamv_hw.dir/predictor.cc.o"
+  "CMakeFiles/scamv_hw.dir/predictor.cc.o.d"
+  "CMakeFiles/scamv_hw.dir/prefetcher.cc.o"
+  "CMakeFiles/scamv_hw.dir/prefetcher.cc.o.d"
+  "CMakeFiles/scamv_hw.dir/tlb.cc.o"
+  "CMakeFiles/scamv_hw.dir/tlb.cc.o.d"
+  "libscamv_hw.a"
+  "libscamv_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/models.cc" "src/obs/CMakeFiles/scamv_obs.dir/models.cc.o" "gcc" "src/obs/CMakeFiles/scamv_obs.dir/models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sym/CMakeFiles/scamv_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/scamv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/bir/CMakeFiles/scamv_bir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scamv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_obs.dir/models.cc.o"
+  "CMakeFiles/scamv_obs.dir/models.cc.o.d"
+  "libscamv_obs.a"
+  "libscamv_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_rel.dir/relation.cc.o"
+  "CMakeFiles/scamv_rel.dir/relation.cc.o.d"
+  "libscamv_rel.a"
+  "libscamv_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_sat.dir/solver.cc.o"
+  "CMakeFiles/scamv_sat.dir/solver.cc.o.d"
+  "libscamv_sat.a"
+  "libscamv_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

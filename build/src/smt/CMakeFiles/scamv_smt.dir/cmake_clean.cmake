@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_smt.dir/sampler.cc.o"
+  "CMakeFiles/scamv_smt.dir/sampler.cc.o.d"
+  "CMakeFiles/scamv_smt.dir/smtlib.cc.o"
+  "CMakeFiles/scamv_smt.dir/smtlib.cc.o.d"
+  "CMakeFiles/scamv_smt.dir/solver.cc.o"
+  "CMakeFiles/scamv_smt.dir/solver.cc.o.d"
+  "libscamv_smt.a"
+  "libscamv_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

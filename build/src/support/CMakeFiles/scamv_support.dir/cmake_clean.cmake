@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_support.dir/logging.cc.o"
+  "CMakeFiles/scamv_support.dir/logging.cc.o.d"
+  "CMakeFiles/scamv_support.dir/rng.cc.o"
+  "CMakeFiles/scamv_support.dir/rng.cc.o.d"
+  "CMakeFiles/scamv_support.dir/table.cc.o"
+  "CMakeFiles/scamv_support.dir/table.cc.o.d"
+  "libscamv_support.a"
+  "libscamv_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

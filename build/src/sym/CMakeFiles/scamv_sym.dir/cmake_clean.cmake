@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamv_sym.dir/symexec.cc.o"
+  "CMakeFiles/scamv_sym.dir/symexec.cc.o.d"
+  "libscamv_sym.a"
+  "libscamv_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamv_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bir.dir/test_bir.cc.o"
+  "CMakeFiles/test_bir.dir/test_bir.cc.o.d"
+  "test_bir"
+  "test_bir.pdb"
+  "test_bir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

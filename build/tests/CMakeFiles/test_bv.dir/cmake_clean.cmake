@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bv.dir/test_bv.cc.o"
+  "CMakeFiles/test_bv.dir/test_bv.cc.o.d"
+  "test_bv"
+  "test_bv.pdb"
+  "test_bv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expdb.dir/test_expdb.cc.o"
+  "CMakeFiles/test_expdb.dir/test_expdb.cc.o.d"
+  "test_expdb"
+  "test_expdb.pdb"
+  "test_expdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

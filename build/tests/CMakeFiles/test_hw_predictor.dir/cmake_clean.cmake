@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_predictor.dir/test_hw_predictor.cc.o"
+  "CMakeFiles/test_hw_predictor.dir/test_hw_predictor.cc.o.d"
+  "test_hw_predictor"
+  "test_hw_predictor.pdb"
+  "test_hw_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

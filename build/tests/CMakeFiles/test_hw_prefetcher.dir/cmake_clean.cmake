@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_prefetcher.dir/test_hw_prefetcher.cc.o"
+  "CMakeFiles/test_hw_prefetcher.dir/test_hw_prefetcher.cc.o.d"
+  "test_hw_prefetcher"
+  "test_hw_prefetcher.pdb"
+  "test_hw_prefetcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

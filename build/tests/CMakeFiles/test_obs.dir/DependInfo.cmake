@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_obs.cc" "tests/CMakeFiles/test_obs.dir/test_obs.cc.o" "gcc" "tests/CMakeFiles/test_obs.dir/test_obs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scamv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/scamv_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/scamv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/scamv_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/scamv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bv/CMakeFiles/scamv_bv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/scamv_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/scamv_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/scamv_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/scamv_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/bir/CMakeFiles/scamv_bir.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/scamv_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scamv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

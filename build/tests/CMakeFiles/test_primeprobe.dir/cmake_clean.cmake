@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_primeprobe.dir/test_primeprobe.cc.o"
+  "CMakeFiles/test_primeprobe.dir/test_primeprobe.cc.o.d"
+  "test_primeprobe"
+  "test_primeprobe.pdb"
+  "test_primeprobe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_primeprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_siscloak.dir/test_siscloak.cc.o"
+  "CMakeFiles/test_siscloak.dir/test_siscloak.cc.o.d"
+  "test_siscloak"
+  "test_siscloak.pdb"
+  "test_siscloak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_siscloak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smtlib.dir/test_smtlib.cc.o"
+  "CMakeFiles/test_smtlib.dir/test_smtlib.cc.o.d"
+  "test_smtlib"
+  "test_smtlib.pdb"
+  "test_smtlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smtlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_fuzz.dir/test_solver_fuzz.cc.o"
+  "CMakeFiles/test_solver_fuzz.dir/test_solver_fuzz.cc.o.d"
+  "test_solver_fuzz"
+  "test_solver_fuzz.pdb"
+  "test_solver_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
