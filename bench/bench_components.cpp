@@ -11,12 +11,14 @@
 
 #include "bir/asm.hh"
 #include "bir/transform.hh"
+#include "core/pipeline.hh"
 #include "gen/templates.hh"
 #include "harness/platform.hh"
 #include "obs/models.hh"
 #include "rel/relation.hh"
 #include "smt/sampler.hh"
 #include "smt/solver.hh"
+#include "support/thread_pool.hh"
 #include "sym/symexec.hh"
 
 using namespace scamv;
@@ -188,6 +190,33 @@ BM_ProgramGeneration(benchmark::State &state)
         benchmark::DoNotOptimize(g.next());
 }
 BENCHMARK(BM_ProgramGeneration);
+
+/**
+ * Whole-campaign wall-clock at a given worker count; Arg(1) is the
+ * serial reference, the second registration uses every core.  Both
+ * runs do bit-identical work (same seed), so the ratio of the
+ * real-time numbers is the campaign speedup.
+ */
+void
+BM_CampaignThreads(benchmark::State &state)
+{
+    core::PipelineConfig cfg;
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    cfg.programs = 16;
+    cfg.testsPerProgram = 8;
+    cfg.seed = 99;
+    cfg.threads = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::Pipeline(cfg).run());
+}
+BENCHMARK(BM_CampaignThreads)
+    ->Arg(1)
+    ->Arg(static_cast<int>(scamv::ThreadPool::defaultThreadCount()))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

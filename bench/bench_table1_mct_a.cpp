@@ -17,6 +17,7 @@
 
 #include "core/pipeline.hh"
 #include "core/report.hh"
+#include "parallel_report.hh"
 
 using namespace scamv;
 using core::PipelineConfig;
@@ -52,9 +53,13 @@ main()
         {"Mct", "Template A", "No", "Mpc"},
         {"Mct", "Template A", "Mspec", "Mpc"},
     };
+    benchsupport::ParallelReport parallel;
     std::vector<core::RunStats> stats;
-    stats.push_back(core::Pipeline(mctConfig(false, scale)).run());
-    stats.push_back(core::Pipeline(mctConfig(true, scale)).run());
+    stats.push_back(parallel.compare("table1_mct_a/unrefined",
+                                     mctConfig(false, scale)));
+    stats.push_back(parallel.compare("table1_mct_a/Mspec",
+                                     mctConfig(true, scale)));
+    parallel.write();
 
     std::printf("%s\n",
                 core::renderCampaignTable(metas, stats).render().c_str());

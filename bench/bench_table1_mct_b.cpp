@@ -15,6 +15,7 @@
 
 #include "core/pipeline.hh"
 #include "core/report.hh"
+#include "parallel_report.hh"
 
 using namespace scamv;
 using core::PipelineConfig;
@@ -50,9 +51,13 @@ main()
         {"Mct", "Template B", "No", "Mpc"},
         {"Mct", "Template B", "Mspec", "Mpc"},
     };
+    benchsupport::ParallelReport parallel;
     std::vector<core::RunStats> stats;
-    stats.push_back(core::Pipeline(mctBConfig(false, scale)).run());
-    stats.push_back(core::Pipeline(mctBConfig(true, scale)).run());
+    stats.push_back(parallel.compare("table1_mct_b/unrefined",
+                                     mctBConfig(false, scale)));
+    stats.push_back(parallel.compare("table1_mct_b/Mspec",
+                                     mctBConfig(true, scale)));
+    parallel.write();
 
     std::printf("%s\n",
                 core::renderCampaignTable(metas, stats).render().c_str());

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Shared bench helper: run a campaign at threads=1 and
+ * threads=hardware_concurrency, report both wall-clocks, and emit
+ * `BENCH_parallel.json` with the per-campaign speedup.
+ *
+ * Determinism is checked on the spot — the serial and parallel runs
+ * must agree on every counter (they share a seed), so the speedup
+ * numbers always describe equivalent work.
+ *
+ * The JSON file is merged across bench binaries: each writer re-reads
+ * the campaign lines it previously wrote (one entry per line, a
+ * format this header controls end to end) and rewrites the union, so
+ * running all table benches accumulates one consolidated report.
+ */
+
+#ifndef SCAMV_BENCH_PARALLEL_REPORT_HH
+#define SCAMV_BENCH_PARALLEL_REPORT_HH
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "support/stopwatch.hh"
+#include "support/thread_pool.hh"
+
+namespace scamv::benchsupport {
+
+/** Collects threads=1 vs threads=N campaign timings. */
+class ParallelReport
+{
+  public:
+    /**
+     * Run `cfg` serially and with the default thread count, print
+     * the comparison, and record it under `campaign`.
+     * @return the serial run's stats (identical counters; timing
+     *         fields carry the reference single-thread meaning).
+     */
+    core::RunStats
+    compare(const std::string &campaign, core::PipelineConfig cfg)
+    {
+        const int n =
+            static_cast<int>(ThreadPool::defaultThreadCount());
+
+        cfg.threads = 1;
+        Stopwatch serial_watch;
+        const core::RunStats serial = core::Pipeline(cfg).run();
+        const double serial_s = serial_watch.seconds();
+
+        cfg.threads = n;
+        Stopwatch parallel_watch;
+        const core::RunStats parallel = core::Pipeline(cfg).run();
+        const double parallel_s = parallel_watch.seconds();
+
+        const bool identical =
+            serial.programs == parallel.programs &&
+            serial.programsWithCex == parallel.programsWithCex &&
+            serial.experiments == parallel.experiments &&
+            serial.counterexamples == parallel.counterexamples &&
+            serial.inconclusive == parallel.inconclusive &&
+            serial.generationFailures == parallel.generationFailures;
+
+        Entry e;
+        e.threads = n;
+        e.serialSeconds = serial_s;
+        e.parallelSeconds = parallel_s;
+        e.identical = identical;
+        entries[campaign] = e;
+
+        std::printf("[parallel] %-32s threads=1: %.2fs  threads=%d: "
+                    "%.2fs  speedup: %.2fx  deterministic: %s\n",
+                    campaign.c_str(), serial_s, n, parallel_s,
+                    parallel_s > 0 ? serial_s / parallel_s : 0.0,
+                    identical ? "yes" : "NO");
+        return serial;
+    }
+
+    /** Write (merging with any existing file) BENCH_parallel.json. */
+    bool
+    write(const std::string &path = "BENCH_parallel.json") const
+    {
+        // Fold previously written campaign lines into the union.
+        std::map<std::string, std::string> lines = existingLines(path);
+        for (const auto &[name, e] : entries) {
+            std::ostringstream line;
+            char buf[256];
+            std::snprintf(buf, sizeof buf,
+                          "\"%s\": {\"threads\": %d, "
+                          "\"serial_s\": %.4f, \"parallel_s\": %.4f, "
+                          "\"speedup\": %.3f, \"deterministic\": %s}",
+                          name.c_str(), e.threads, e.serialSeconds,
+                          e.parallelSeconds,
+                          e.parallelSeconds > 0
+                              ? e.serialSeconds / e.parallelSeconds
+                              : 0.0,
+                          e.identical ? "true" : "false");
+            lines[name] = buf;
+        }
+
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << "{\n  \"benchmark\": \"parallel campaign speedup\",\n"
+            << "  \"campaigns\": {\n";
+        std::size_t i = 0;
+        for (const auto &[name, line] : lines) {
+            out << "    " << line;
+            if (++i != lines.size())
+                out << ',';
+            out << '\n';
+        }
+        out << "  }\n}\n";
+        return static_cast<bool>(out);
+    }
+
+  private:
+    struct Entry {
+        int threads = 1;
+        double serialSeconds = 0.0;
+        double parallelSeconds = 0.0;
+        bool identical = true;
+    };
+
+    /**
+     * Re-parse campaign lines from a previous write().  Only the
+     * exact one-entry-per-line shape produced above is recognized;
+     * anything else is ignored, which at worst drops a stale entry.
+     */
+    static std::map<std::string, std::string>
+    existingLines(const std::string &path)
+    {
+        std::map<std::string, std::string> out;
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.find("\"speedup\"") == std::string::npos)
+                continue;
+            const auto first = line.find('"');
+            const auto second = line.find('"', first + 1);
+            if (first == std::string::npos ||
+                second == std::string::npos)
+                continue;
+            std::string body = line.substr(first);
+            while (!body.empty() &&
+                   (body.back() == ',' || body.back() == ' ' ||
+                    body.back() == '\r'))
+                body.pop_back();
+            out[line.substr(first + 1, second - first - 1)] = body;
+        }
+        return out;
+    }
+
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace scamv::benchsupport
+
+#endif // SCAMV_BENCH_PARALLEL_REPORT_HH

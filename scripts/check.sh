@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+#
+# CI check: build + full test suite in the default configuration,
+# then rebuild the concurrency-sensitive tests with ThreadSanitizer
+# (SCAMV_ENABLE_TSAN) and run them under a real multi-thread pool.
+#
+# Usage: scripts/check.sh [build-dir] [tsan-build-dir]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+GENERATOR=()
+command -v ninja > /dev/null && GENERATOR=(-G Ninja)
+JOBS="$(nproc 2> /dev/null || echo 2)"
+
+echo "== tier-1: configure + build + ctest (${BUILD_DIR}) =="
+cmake -B "$BUILD_DIR" -S . "${GENERATOR[@]}"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== TSan: thread pool + pipeline tests (${TSAN_DIR}) =="
+cmake -B "$TSAN_DIR" -S . "${GENERATOR[@]}" -DSCAMV_ENABLE_TSAN=ON
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target test_thread_pool test_pipeline
+
+# Force a real multi-thread pool even on single-core CI runners so
+# TSan observes genuine cross-thread interleavings.
+SCAMV_THREADS=4 "$TSAN_DIR"/tests/test_thread_pool
+SCAMV_THREADS=4 "$TSAN_DIR"/tests/test_pipeline \
+    --gtest_filter='Pipeline.ThreadCount*:Pipeline.Deterministic*'
+
+echo "== all checks passed =="

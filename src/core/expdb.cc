@@ -23,6 +23,7 @@ verdictName(harness::Verdict v)
 void
 ExperimentDb::add(ExperimentRecord record)
 {
+    std::lock_guard<std::mutex> lock(writeMutex);
     records.push_back(std::move(record));
 }
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,11 +37,20 @@ struct ExperimentRecord {
     int totalReps = 0;
 };
 
-/** In-memory experiment log with aggregate queries and CSV export. */
+/**
+ * In-memory experiment log with aggregate queries and CSV export.
+ *
+ * Thread safety: add() is internally synchronized so concurrent
+ * pipeline workers may log directly.  (The parallel pipeline itself
+ * buffers per program and flushes on one thread in index order — see
+ * DESIGN.md "Concurrency model" — so its record order is
+ * deterministic.)  The query/export accessors are unsynchronized and
+ * must not race with writers.
+ */
 class ExperimentDb
 {
   public:
-    /** Append one record. */
+    /** Append one record (safe to call from multiple threads). */
     void add(ExperimentRecord record);
 
     std::size_t size() const { return records.size(); }
@@ -72,6 +82,7 @@ class ExperimentDb
 
   private:
     std::vector<ExperimentRecord> records;
+    std::mutex writeMutex;
 };
 
 /** @return a short string name for a verdict. */

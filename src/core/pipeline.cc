@@ -1,17 +1,19 @@
 #include "core/pipeline.hh"
 
 #include <cmath>
-#include <cstdlib>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "bir/transform.hh"
 #include "core/expdb.hh"
 #include "rel/relation.hh"
 #include "smt/sampler.hh"
 #include "smt/solver.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
+#include "support/thread_pool.hh"
 
 namespace scamv::core {
 
@@ -34,11 +36,8 @@ needsSpecInstrumentation(const PipelineConfig &cfg)
 double
 scaleFromEnv(double fallback)
 {
-    const char *env = std::getenv("SCAMV_SCALE");
-    if (!env)
-        return fallback;
-    const double v = std::atof(env);
-    return v > 0.0 ? v : fallback;
+    const auto v = envDouble("SCAMV_SCALE");
+    return v && *v > 0.0 ? *v : fallback;
 }
 
 int
@@ -48,18 +47,23 @@ scaled(int n, double scale)
     return v < 1 ? 1 : v;
 }
 
+std::uint64_t
+deriveProgramSeed(std::uint64_t seed, int prog_i)
+{
+    // splitmix64 finalizer over (seed, prog_i); +1 keeps program 0
+    // from collapsing onto the raw campaign seed.
+    std::uint64_t x =
+        seed + 0x9e3779b97f4a7c15ULL *
+                   (static_cast<std::uint64_t>(prog_i) + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
 Pipeline::Pipeline(const PipelineConfig &config) : cfg(config) {}
 
-namespace {
-
-/** Per-program solving state: one incremental solver per path pair. */
-struct PairSolvers {
-    std::vector<std::unique_ptr<smt::SmtSolver>> solvers;
-    std::vector<bool> dead;
-};
-
 /** Register variables of both states, for model blocking. */
-std::vector<Expr>
+static std::vector<Expr>
 blockingVars(ExprContext &ctx, const bir::Program &program)
 {
     std::vector<Expr> vars;
@@ -70,12 +74,6 @@ blockingVars(ExprContext &ctx, const bir::Program &program)
     return vars;
 }
 
-/**
- * Canonical-model symmetrization: greedily copy s1's registers and
- * memory words into s2 wherever the relation formula stays satisfied.
- * Differences the relation *requires* (path conditions, refinement
- * disequalities) survive; incidental solver asymmetry is removed.
- */
 void
 symmetrizeModel(Expr formula, const bir::Program &program,
                 expr::Assignment &model, Rng &rng, double bias)
@@ -129,238 +127,345 @@ symmetrizeModel(Expr formula, const bir::Program &program,
     }
 }
 
+namespace {
+
+/** Per-program solving state: one incremental solver per path pair. */
+struct PairSolvers {
+    std::vector<std::unique_ptr<smt::SmtSolver>> solvers;
+    std::vector<bool> dead;
+};
+
+/**
+ * Everything one program task produces.  Slots are indexed by
+ * program index and merged in order after the campaign barrier, so
+ * the aggregate is independent of task scheduling.
+ */
+struct ProgramOutcome {
+    std::int64_t experiments = 0;
+    std::int64_t counterexamples = 0;
+    std::int64_t inconclusive = 0;
+    std::int64_t generationFailures = 0;
+    bool hasCex = false;
+    double genSeconds = 0.0;
+    double exeSeconds = 0.0;
+    /** Task-relative time of the first counterexample (-1: none). */
+    double firstCexOffsetSeconds = -1.0;
+    /** Total wall-clock of this task (sequential-campaign clock). */
+    double taskSeconds = 0.0;
+    /** Buffered database records, flushed in index order. */
+    std::vector<ExperimentRecord> records;
+};
+
+/**
+ * Run the whole experiment campaign of one program.  Pure function
+ * of (cfg, prog_i): every stochastic component is seeded from
+ * deriveProgramSeed(cfg.seed, prog_i), and nothing outside the
+ * returned ProgramOutcome is written.
+ */
+ProgramOutcome
+runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
+{
+    ProgramOutcome out;
+    Stopwatch task_watch;
+
+    const std::uint64_t prog_seed = deriveProgramSeed(cfg.seed, prog_i);
+    gen::GeneratorConfig gen_cfg;
+    gen_cfg.lineBytes = cfg.modelParams.geom.lineBytes;
+    gen::ProgramGenerator generator(cfg.templateKind, prog_seed,
+                                    gen_cfg);
+    generator.setCounter(prog_i);
+    harness::Platform platform(cfg.platform, prog_seed ^ 0x90153ULL);
+    Rng rng(prog_seed ^ 0xc0ffeeULL);
+
+    ExprContext ctx;
+    const bir::Program program = generator.next();
+
+    Stopwatch gen_watch;
+
+    // ---- Observation augmentation (Sections 4.2.2, 5.1) --------
+    bir::Program model_prog = program;
+    if (instrument) {
+        if (cfg.rewriteJumps)
+            model_prog = bir::rewriteJumpsToCondBranches(model_prog);
+        model_prog = bir::instrumentSpeculation(model_prog);
+    }
+
+    std::unique_ptr<sym::Annotator> annotator;
+    if (cfg.refinement) {
+        annotator = std::make_unique<obs::RefinementPair>(
+            obs::makeModel(cfg.model, cfg.modelParams),
+            obs::makeModel(*cfg.refinement, cfg.modelParams));
+    } else {
+        annotator = obs::makeModel(cfg.model, cfg.modelParams);
+    }
+
+    // ---- Symbolic execution (cached per program) ----------------
+    auto paths1 = sym::execute(ctx, model_prog, *annotator, {"_1"});
+    auto paths2 = sym::execute(ctx, model_prog, *annotator, {"_2"});
+
+    rel::RelationConfig rel_cfg;
+    rel_cfg.refine = cfg.refinement.has_value();
+    rel_cfg.region = cfg.region;
+    rel_cfg.geom = cfg.modelParams.geom;
+    rel::RelationSynthesizer relation(ctx, std::move(paths1),
+                                      std::move(paths2), rel_cfg);
+
+    // Training paths (third symbolic execution, suffix "_t").
+    std::vector<sym::PathResult> training_paths;
+    if (cfg.train) {
+        auto mpc = obs::makeModel(obs::ModelKind::Mpc);
+        training_paths = sym::execute(ctx, model_prog, *mpc, {"_t"});
+    }
+
+    out.genSeconds += gen_watch.seconds();
+
+    const auto &pairs = relation.pairs();
+    if (pairs.empty()) {
+        out.taskSeconds = task_watch.seconds();
+        return out;
+    }
+
+    PairSolvers per_pair;
+    per_pair.solvers.resize(pairs.size());
+    per_pair.dead.assign(pairs.size(), false);
+
+    // Relation formulas, synthesized once per path pair: the formula
+    // is a pure function of the pair, but it is needed by solver
+    // construction, the sampler, and symmetrizeModel on every test
+    // iteration.
+    std::vector<Expr> formulas(pairs.size(), nullptr);
+    auto formula_for = [&](std::size_t idx) {
+        if (!formulas[idx])
+            formulas[idx] = relation.formulaFor(pairs[idx]);
+        return formulas[idx];
+    };
+
+    // Training inputs, cached per s1-path index.
+    std::unordered_map<int, std::optional<harness::ProgramInput>>
+        training_cache;
+    auto training_for =
+        [&](const rel::PathPair &pair)
+        -> std::optional<harness::ProgramInput> {
+        if (!cfg.train)
+            return std::nullopt;
+        auto hit = training_cache.find(pair.idx1);
+        if (hit != training_cache.end())
+            return hit->second;
+        std::optional<harness::ProgramInput> input;
+        auto formula = rel::RelationSynthesizer::trainingFormula(
+            ctx, training_paths, relation.paths1()[pair.idx1],
+            rel_cfg);
+        if (formula) {
+            smt::SmtSolver ts(ctx, *formula);
+            if (ts.solve(cfg.conflictBudget) == smt::Outcome::Sat)
+                input = harness::inputFromAssignment(ts.model(),
+                                                     "_t");
+        }
+        training_cache.emplace(pair.idx1, input);
+        return input;
+    };
+
+    std::size_t rr = 0; // round-robin cursor over path pairs
+
+    for (int test_i = 0; test_i < cfg.testsPerProgram; ++test_i) {
+        // Advance to the next live pair.
+        std::size_t probe = 0;
+        while (probe < pairs.size() &&
+               per_pair.dead[rr % pairs.size()]) {
+            ++rr;
+            ++probe;
+        }
+        if (probe == pairs.size())
+            break; // all relations exhausted
+        const std::size_t pair_idx = rr % pairs.size();
+        ++rr;
+        const rel::PathPair &pair = pairs[pair_idx];
+
+        Stopwatch test_gen_watch;
+        std::optional<expr::Assignment> model;
+
+        if (cfg.strategy == SolveStrategy::Sampler) {
+            Expr f = formula_for(pair_idx);
+            if (cfg.coverage == Coverage::PcAndLine) {
+                auto cov =
+                    relation.lineCoverageConstraint(pair, rng);
+                if (cov)
+                    f = ctx.land(f, *cov);
+            }
+            smt::SamplerConfig sampler_cfg;
+            sampler_cfg.regionBase = cfg.region.base;
+            sampler_cfg.regionLimit = cfg.region.limit();
+            smt::RepairSampler sampler(ctx, f, rng, sampler_cfg);
+            model = sampler.sample();
+            if (!model) {
+                // Fall back to the complete solver.
+                smt::SmtSolver fallback(ctx, f);
+                if (fallback.solve(cfg.conflictBudget) ==
+                    smt::Outcome::Sat)
+                    model = fallback.model();
+                else
+                    per_pair.dead[pair_idx] = true;
+            }
+        } else {
+            auto &solver = per_pair.solvers[pair_idx];
+            if (!solver) {
+                solver = std::make_unique<smt::SmtSolver>(
+                    ctx, formula_for(pair_idx));
+            }
+            if (cfg.strategy == SolveStrategy::RandomPhases)
+                solver->randomizePhases(rng);
+
+            smt::Outcome outcome = smt::Outcome::Unsat;
+            if (cfg.coverage == Coverage::PcAndLine) {
+                // Randomly drawn set-index classes often
+                // contradict the relation (e.g. distinct classes
+                // pinned inside the attacker region); redraw a few
+                // times before charging a generation failure.
+                for (int attempt = 0;
+                     attempt < cfg.coverageRetries &&
+                     outcome != smt::Outcome::Sat;
+                     ++attempt) {
+                    auto cov =
+                        relation.lineCoverageConstraint(pair, rng);
+                    outcome =
+                        cov ? solver->solveWith(*cov,
+                                                cfg.conflictBudget)
+                            : solver->solve(cfg.conflictBudget);
+                    if (!cov)
+                        break;
+                }
+            } else {
+                outcome = solver->solve(cfg.conflictBudget);
+            }
+
+            if (outcome == smt::Outcome::Sat) {
+                model = solver->model();
+                if (!solver->blockCurrentModel(
+                        blockingVars(ctx, program),
+                        cfg.blockingBits))
+                    per_pair.dead[pair_idx] = true;
+            } else if (cfg.coverage != Coverage::PcAndLine ||
+                       outcome == smt::Outcome::Unknown) {
+                // Without per-test coverage constraints an Unsat
+                // relation stays Unsat: retire the pair.
+                per_pair.dead[pair_idx] = true;
+            }
+        }
+        if (model && cfg.strategy == SolveStrategy::Canonical)
+            symmetrizeModel(formula_for(pair_idx), program, *model,
+                            rng, cfg.similarityBias);
+        out.genSeconds += test_gen_watch.seconds();
+
+        if (!model) {
+            ++out.generationFailures;
+            continue;
+        }
+
+        harness::TestCase tc;
+        tc.s1 = harness::inputFromAssignment(*model, "_1");
+        tc.s2 = harness::inputFromAssignment(*model, "_2");
+        const auto training = training_for(pair);
+
+        Stopwatch exe_watch;
+        const harness::ExperimentResult result =
+            platform.runExperiment(program, tc, training);
+        out.exeSeconds += exe_watch.seconds();
+        ++out.experiments;
+
+        if (cfg.database) {
+            ExperimentRecord record;
+            record.programName = program.name();
+            record.programText = program.toString();
+            record.pathId =
+                relation.paths1()[pair.idx1].pathId();
+            record.testCase = tc;
+            record.trained = training.has_value();
+            record.verdict = result.verdict;
+            record.differingReps = result.differingReps;
+            record.totalReps = result.totalReps;
+            out.records.push_back(std::move(record));
+        }
+
+        switch (result.verdict) {
+          case harness::Verdict::Counterexample:
+            ++out.counterexamples;
+            out.hasCex = true;
+            if (out.firstCexOffsetSeconds < 0)
+                out.firstCexOffsetSeconds = task_watch.seconds();
+            break;
+          case harness::Verdict::Inconclusive:
+            ++out.inconclusive;
+            break;
+          case harness::Verdict::Indistinguishable:
+            break;
+        }
+    }
+
+    out.taskSeconds = task_watch.seconds();
+    return out;
+}
+
+/** @return the worker count for a config (0 = auto). */
+int
+resolveThreads(int configured)
+{
+    if (configured > 0)
+        return configured;
+    return static_cast<int>(ThreadPool::defaultThreadCount());
+}
+
 } // namespace
 
 RunStats
 Pipeline::run()
 {
     RunStats stats;
-    Stopwatch campaign;
-
-    gen::GeneratorConfig gen_cfg;
-    gen_cfg.lineBytes = cfg.modelParams.geom.lineBytes;
-    gen::ProgramGenerator generator(cfg.templateKind, cfg.seed, gen_cfg);
-    harness::Platform platform(cfg.platform, cfg.seed ^ 0x90153ULL);
-    Rng rng(cfg.seed ^ 0xc0ffeeULL);
 
     const bool instrument = needsSpecInstrumentation(cfg);
+    const int n_threads = resolveThreads(cfg.threads);
 
-    for (int prog_i = 0; prog_i < cfg.programs; ++prog_i) {
-        ExprContext ctx;
-        const bir::Program program = generator.next();
+    // One slot per program; tasks never touch shared state, so the
+    // campaign is embarrassingly parallel and the merge below sees
+    // the same slot contents regardless of scheduling.
+    std::vector<ProgramOutcome> slots(
+        cfg.programs > 0 ? static_cast<std::size_t>(cfg.programs) : 0);
+
+    if (n_threads <= 1 || cfg.programs <= 1) {
+        // Reference path: plain sequential loop on this thread.
+        for (int prog_i = 0; prog_i < cfg.programs; ++prog_i)
+            slots[prog_i] = runOneProgram(cfg, instrument, prog_i);
+    } else {
+        ThreadPool pool(static_cast<unsigned>(n_threads));
+        for (int prog_i = 0; prog_i < cfg.programs; ++prog_i) {
+            pool.submit([this, instrument, prog_i, &slots] {
+                slots[prog_i] = runOneProgram(cfg, instrument, prog_i);
+            });
+        }
+        pool.wait();
+    }
+
+    // Deterministic in-order merge.  ttcSeconds is rebuilt on the
+    // sequential-campaign clock: the sum of the task durations of
+    // all earlier programs plus the in-task offset of the first
+    // counterexample, so its meaning matches a threads=1 run.
+    double clock = 0.0;
+    for (const ProgramOutcome &out : slots) {
         ++stats.programs;
-
-        Stopwatch gen_watch;
-
-        // ---- Observation augmentation (Sections 4.2.2, 5.1) --------
-        bir::Program model_prog = program;
-        if (instrument) {
-            if (cfg.rewriteJumps)
-                model_prog = bir::rewriteJumpsToCondBranches(model_prog);
-            model_prog = bir::instrumentSpeculation(model_prog);
-        }
-
-        std::unique_ptr<sym::Annotator> annotator;
-        if (cfg.refinement) {
-            annotator = std::make_unique<obs::RefinementPair>(
-                obs::makeModel(cfg.model, cfg.modelParams),
-                obs::makeModel(*cfg.refinement, cfg.modelParams));
-        } else {
-            annotator = obs::makeModel(cfg.model, cfg.modelParams);
-        }
-
-        // ---- Symbolic execution (cached per program) ----------------
-        auto paths1 = sym::execute(ctx, model_prog, *annotator, {"_1"});
-        auto paths2 = sym::execute(ctx, model_prog, *annotator, {"_2"});
-
-        rel::RelationConfig rel_cfg;
-        rel_cfg.refine = cfg.refinement.has_value();
-        rel_cfg.region = cfg.region;
-        rel_cfg.geom = cfg.modelParams.geom;
-        rel::RelationSynthesizer relation(ctx, std::move(paths1),
-                                          std::move(paths2), rel_cfg);
-
-        // Training paths (third symbolic execution, suffix "_t").
-        std::vector<sym::PathResult> training_paths;
-        if (cfg.train) {
-            auto mpc = obs::makeModel(obs::ModelKind::Mpc);
-            training_paths = sym::execute(ctx, model_prog, *mpc, {"_t"});
-        }
-
-        stats.totalGenSeconds += gen_watch.seconds();
-
-        const auto &pairs = relation.pairs();
-        if (pairs.empty())
-            continue;
-
-        PairSolvers per_pair;
-        per_pair.solvers.resize(pairs.size());
-        per_pair.dead.assign(pairs.size(), false);
-
-        // Training inputs, cached per s1-path index.
-        std::unordered_map<int, std::optional<harness::ProgramInput>>
-            training_cache;
-        auto training_for =
-            [&](const rel::PathPair &pair)
-            -> std::optional<harness::ProgramInput> {
-            if (!cfg.train)
-                return std::nullopt;
-            auto hit = training_cache.find(pair.idx1);
-            if (hit != training_cache.end())
-                return hit->second;
-            std::optional<harness::ProgramInput> input;
-            auto formula = rel::RelationSynthesizer::trainingFormula(
-                ctx, training_paths, relation.paths1()[pair.idx1],
-                rel_cfg);
-            if (formula) {
-                smt::SmtSolver ts(ctx, *formula);
-                if (ts.solve(cfg.conflictBudget) == smt::Outcome::Sat)
-                    input = harness::inputFromAssignment(ts.model(),
-                                                         "_t");
-            }
-            training_cache.emplace(pair.idx1, input);
-            return input;
-        };
-
-        bool program_has_cex = false;
-        std::size_t rr = 0; // round-robin cursor over path pairs
-
-        for (int test_i = 0; test_i < cfg.testsPerProgram; ++test_i) {
-            // Advance to the next live pair.
-            std::size_t probe = 0;
-            while (probe < pairs.size() &&
-                   per_pair.dead[rr % pairs.size()]) {
-                ++rr;
-                ++probe;
-            }
-            if (probe == pairs.size())
-                break; // all relations exhausted
-            const std::size_t pair_idx = rr % pairs.size();
-            ++rr;
-            const rel::PathPair &pair = pairs[pair_idx];
-
-            Stopwatch test_gen_watch;
-            std::optional<expr::Assignment> model;
-
-            if (cfg.strategy == SolveStrategy::Sampler) {
-                Expr f = relation.formulaFor(pair);
-                if (cfg.coverage == Coverage::PcAndLine) {
-                    auto cov =
-                        relation.lineCoverageConstraint(pair, rng);
-                    if (cov)
-                        f = ctx.land(f, *cov);
-                }
-                smt::SamplerConfig sampler_cfg;
-                sampler_cfg.regionBase = cfg.region.base;
-                sampler_cfg.regionLimit = cfg.region.limit();
-                smt::RepairSampler sampler(ctx, f, rng, sampler_cfg);
-                model = sampler.sample();
-                if (!model) {
-                    // Fall back to the complete solver.
-                    smt::SmtSolver fallback(ctx, f);
-                    if (fallback.solve(cfg.conflictBudget) ==
-                        smt::Outcome::Sat)
-                        model = fallback.model();
-                    else
-                        per_pair.dead[pair_idx] = true;
-                }
-            } else {
-                auto &solver = per_pair.solvers[pair_idx];
-                if (!solver) {
-                    solver = std::make_unique<smt::SmtSolver>(
-                        ctx, relation.formulaFor(pair));
-                }
-                if (cfg.strategy == SolveStrategy::RandomPhases)
-                    solver->randomizePhases(rng);
-
-                smt::Outcome outcome = smt::Outcome::Unsat;
-                if (cfg.coverage == Coverage::PcAndLine) {
-                    // Randomly drawn set-index classes often
-                    // contradict the relation (e.g. distinct classes
-                    // pinned inside the attacker region); redraw a few
-                    // times before charging a generation failure.
-                    for (int attempt = 0;
-                         attempt < cfg.coverageRetries &&
-                         outcome != smt::Outcome::Sat;
-                         ++attempt) {
-                        auto cov =
-                            relation.lineCoverageConstraint(pair, rng);
-                        outcome =
-                            cov ? solver->solveWith(*cov,
-                                                    cfg.conflictBudget)
-                                : solver->solve(cfg.conflictBudget);
-                        if (!cov)
-                            break;
-                    }
-                } else {
-                    outcome = solver->solve(cfg.conflictBudget);
-                }
-
-                if (outcome == smt::Outcome::Sat) {
-                    model = solver->model();
-                    if (!solver->blockCurrentModel(
-                            blockingVars(ctx, program),
-                            cfg.blockingBits))
-                        per_pair.dead[pair_idx] = true;
-                } else if (cfg.coverage != Coverage::PcAndLine ||
-                           outcome == smt::Outcome::Unknown) {
-                    // Without per-test coverage constraints an Unsat
-                    // relation stays Unsat: retire the pair.
-                    per_pair.dead[pair_idx] = true;
-                }
-            }
-            if (model && cfg.strategy == SolveStrategy::Canonical)
-                symmetrizeModel(relation.formulaFor(pair), program,
-                                *model, rng, cfg.similarityBias);
-            stats.totalGenSeconds += test_gen_watch.seconds();
-
-            if (!model) {
-                ++stats.generationFailures;
-                continue;
-            }
-
-            harness::TestCase tc;
-            tc.s1 = harness::inputFromAssignment(*model, "_1");
-            tc.s2 = harness::inputFromAssignment(*model, "_2");
-            const auto training = training_for(pair);
-
-            Stopwatch exe_watch;
-            const harness::ExperimentResult result =
-                platform.runExperiment(program, tc, training);
-            stats.totalExeSeconds += exe_watch.seconds();
-            ++stats.experiments;
-
-            if (cfg.database) {
-                ExperimentRecord record;
-                record.programName = program.name();
-                record.programText = program.toString();
-                record.pathId =
-                    relation.paths1()[pair.idx1].pathId();
-                record.testCase = tc;
-                record.trained = training.has_value();
-                record.verdict = result.verdict;
-                record.differingReps = result.differingReps;
-                record.totalReps = result.totalReps;
+        stats.programsWithCex += out.hasCex;
+        stats.experiments += out.experiments;
+        stats.counterexamples += out.counterexamples;
+        stats.inconclusive += out.inconclusive;
+        stats.generationFailures += out.generationFailures;
+        stats.totalGenSeconds += out.genSeconds;
+        stats.totalExeSeconds += out.exeSeconds;
+        if (stats.ttcSeconds < 0 && out.firstCexOffsetSeconds >= 0)
+            stats.ttcSeconds = clock + out.firstCexOffsetSeconds;
+        clock += out.taskSeconds;
+    }
+    if (cfg.database) {
+        for (ProgramOutcome &out : slots)
+            for (ExperimentRecord &record : out.records)
                 cfg.database->add(std::move(record));
-            }
-
-            switch (result.verdict) {
-              case harness::Verdict::Counterexample:
-                ++stats.counterexamples;
-                program_has_cex = true;
-                if (stats.ttcSeconds < 0)
-                    stats.ttcSeconds = campaign.seconds();
-                break;
-              case harness::Verdict::Inconclusive:
-                ++stats.inconclusive;
-                break;
-              case harness::Verdict::Indistinguishable:
-                break;
-            }
-        }
-
-        if (program_has_cex)
-            ++stats.programsWithCex;
     }
     return stats;
 }

@@ -23,6 +23,15 @@
  *  6. executes each test case on the simulated platform and tallies
  *     counterexamples / inconclusive runs / timing, producing the
  *     statistics reported in Table 1 and Fig. 7.
+ *
+ * Programs are independent experiments, so the campaign loop runs
+ * them on a thread pool (`PipelineConfig::threads`), one task per
+ * program index.  Each task derives its own seed from
+ * `deriveProgramSeed(cfg.seed, prog_i)` and owns its generator, Rng,
+ * ExprContext and Platform; per-program results are merged in index
+ * order afterwards, so every statistic and database record is
+ * bit-identical for any thread count (see DESIGN.md, "Concurrency
+ * model").
  */
 
 #ifndef SCAMV_CORE_PIPELINE_HH
@@ -68,6 +77,14 @@ struct PipelineConfig {
     int programs = 50;
     int testsPerProgram = 40;
     std::uint64_t seed = 1;
+    /**
+     * Worker threads for program-level parallelism.  0 = auto: the
+     * validated SCAMV_THREADS environment variable if set, otherwise
+     * hardware_concurrency().  1 runs the campaign serially on the
+     * calling thread (the reference path).  Results are identical
+     * for every value (see DESIGN.md, "Concurrency model").
+     */
+    int threads = 0;
 
     obs::ModelParams modelParams;
     obs::MemoryRegion region;
@@ -149,6 +166,24 @@ class Pipeline
 
 /** @return true if the configuration requires shadow instrumentation. */
 bool needsSpecInstrumentation(const PipelineConfig &cfg);
+
+/**
+ * Per-program seed: a splitmix64-style avalanche over the campaign
+ * seed and the program index.  Program prog_i's entire experiment
+ * (generation, solving, platform noise) is a pure function of this
+ * value, which is what makes the parallel campaign deterministic.
+ */
+std::uint64_t deriveProgramSeed(std::uint64_t seed, int prog_i);
+
+/**
+ * Canonical-model symmetrization (see PipelineConfig::similarityBias):
+ * greedily copy s1's registers and memory words into s2 wherever
+ * `formula` stays satisfied.  Differences the relation *requires*
+ * (path conditions, refinement disequalities) survive; incidental
+ * solver asymmetry is removed with probability `bias` per component.
+ */
+void symmetrizeModel(expr::Expr formula, const bir::Program &program,
+                     expr::Assignment &model, Rng &rng, double bias);
 
 /**
  * Scale factor from the SCAMV_SCALE environment variable (default

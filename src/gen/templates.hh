@@ -64,6 +64,14 @@ class ProgramGenerator
 
     TemplateKind kind() const { return templateKind; }
 
+    /**
+     * Override the program-name counter.  The parallel pipeline
+     * creates one independently seeded generator per program index;
+     * setting the counter to that index keeps program names
+     * ("Template A#<i>") unique and identical to a sequential run.
+     */
+    void setCounter(int c) { counter = c; }
+
   private:
     bir::Reg pickReg();
     bir::Reg pickRegExcept(const std::vector<bir::Reg> &excluded);

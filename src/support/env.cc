@@ -1,0 +1,58 @@
+#include "support/env.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace scamv {
+
+namespace {
+
+/** @return the trimmed-length check: all of `s` consumed by strto*. */
+bool
+consumedWhole(const char *s, const char *end)
+{
+    if (end == s)
+        return false;
+    while (*end == ' ' || *end == '\t')
+        ++end;
+    return *end == '\0';
+}
+
+} // namespace
+
+std::optional<double>
+envDouble(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return std::nullopt;
+    char *end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (!consumedWhole(env, end) || !std::isfinite(v)) {
+        warn(std::string(name) + "='" + env +
+             "' is not a number; using the default");
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::optional<long>
+envLong(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return std::nullopt;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (!consumedWhole(env, end)) {
+        warn(std::string(name) + "='" + env +
+             "' is not an integer; using the default");
+        return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace scamv

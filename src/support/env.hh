@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Validated environment-variable parsing.
+ *
+ * `std::atof`-style parsing silently turns malformed values into 0,
+ * which then masquerades as "fall back to the default" without any
+ * indication that the user's setting was dropped.  These helpers
+ * parse strictly (the whole value must be consumed) and warn once on
+ * malformed input, so `SCAMV_SCALE=abc` is an observable user error
+ * rather than a silent no-op.
+ */
+
+#ifndef SCAMV_SUPPORT_ENV_HH
+#define SCAMV_SUPPORT_ENV_HH
+
+#include <cstdint>
+#include <optional>
+
+namespace scamv {
+
+/**
+ * Parse an environment variable as a double.
+ * @return the value, or nullopt when the variable is unset or does
+ *         not parse as a complete finite number (a warning is
+ *         printed in the malformed case).
+ */
+std::optional<double> envDouble(const char *name);
+
+/**
+ * Parse an environment variable as a long.
+ * @return the value, or nullopt when unset or malformed (warned).
+ */
+std::optional<long> envLong(const char *name);
+
+} // namespace scamv
+
+#endif // SCAMV_SUPPORT_ENV_HH

@@ -1,0 +1,93 @@
+#include "support/thread_pool.hh"
+
+#include "support/env.hh"
+#include "support/logging.hh"
+
+namespace scamv {
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (auto env = envLong("SCAMV_THREADS")) {
+        if (*env >= 1)
+            return static_cast<unsigned>(*env);
+        warn("SCAMV_THREADS must be >= 1; using hardware concurrency");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        SCAMV_ASSERT(!stopping, "submit on a stopping ThreadPool");
+        queue.push_back(std::move(task));
+        ++unfinished;
+    }
+    workReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    allDone.wait(lock, [this] { return unfinished == 0; });
+    if (firstError) {
+        std::exception_ptr err = firstError;
+        firstError = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            workReady.wait(lock,
+                           [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(mutex);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            if (--unfinished == 0)
+                allDone.notify_all();
+        }
+    }
+}
+
+} // namespace scamv

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-size thread pool for program-level campaign parallelism.
+ *
+ * Deliberately minimal — a single locked FIFO queue, no work
+ * stealing: pipeline tasks are coarse (one whole program campaign
+ * each, milliseconds to seconds), so queue contention is negligible
+ * and a simple pool keeps the concurrency story auditable.
+ *
+ * The framework itself is exception-free (see support/logging.hh),
+ * but tasks may still throw through library code (`std::bad_alloc`,
+ * test harness assertions).  The pool therefore captures the first
+ * escaping exception and rethrows it from wait(), so failures in
+ * workers are not silently dropped.
+ */
+
+#ifndef SCAMV_SUPPORT_THREAD_POOL_HH
+#define SCAMV_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scamv {
+
+/** Fixed-size FIFO thread pool with barrier-style wait(). */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn the workers.
+     * @param threads worker count; 0 selects defaultThreadCount().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers (after draining the queue). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task; runnable immediately by any idle worker. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow
+     * the first exception (if any) that escaped a task.  The pool is
+     * reusable after wait() returns.
+     */
+    void wait();
+
+    /** @return number of worker threads. */
+    unsigned threadCount() const { return static_cast<unsigned>(workers.size()); }
+
+    /**
+     * Thread count used when none is configured: the validated
+     * SCAMV_THREADS environment variable if set (values < 1 are
+     * rejected with a warning), otherwise hardware_concurrency()
+     * (at least 1).
+     */
+    static unsigned defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable workReady;
+    std::condition_variable allDone;
+    /** Tasks submitted but not yet finished (queued + running). */
+    std::size_t unfinished = 0;
+    std::exception_ptr firstError;
+    bool stopping = false;
+};
+
+} // namespace scamv
+
+#endif // SCAMV_SUPPORT_THREAD_POOL_HH

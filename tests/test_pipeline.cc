@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "bir/asm.hh"
+#include "core/expdb.hh"
 #include "core/pipeline.hh"
 #include "core/report.hh"
 
@@ -144,6 +148,164 @@ TEST(Pipeline, DeterministicAcrossRuns)
     EXPECT_EQ(a.experiments, b.experiments);
     EXPECT_EQ(a.counterexamples, b.counterexamples);
     EXPECT_EQ(a.inconclusive, b.inconclusive);
+}
+
+void
+expectSameDb(const ExperimentDb &a, const ExperimentDb &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const ExperimentRecord &ra = a.all()[i];
+        const ExperimentRecord &rb = b.all()[i];
+        EXPECT_EQ(ra.programName, rb.programName) << "record " << i;
+        EXPECT_EQ(ra.programText, rb.programText) << "record " << i;
+        EXPECT_EQ(ra.pathId, rb.pathId) << "record " << i;
+        EXPECT_EQ(ra.trained, rb.trained) << "record " << i;
+        EXPECT_EQ(ra.verdict, rb.verdict) << "record " << i;
+        EXPECT_EQ(ra.differingReps, rb.differingReps) << "record " << i;
+        EXPECT_EQ(ra.totalReps, rb.totalReps) << "record " << i;
+        EXPECT_EQ(ra.testCase.s1.regs.regs, rb.testCase.s1.regs.regs);
+        EXPECT_EQ(ra.testCase.s2.regs.regs, rb.testCase.s2.regs.regs);
+        EXPECT_EQ(ra.testCase.s1.mem, rb.testCase.s1.mem);
+        EXPECT_EQ(ra.testCase.s2.mem, rb.testCase.s2.mem);
+    }
+}
+
+void
+expectSameCounters(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.programs, b.programs);
+    EXPECT_EQ(a.programsWithCex, b.programsWithCex);
+    EXPECT_EQ(a.experiments, b.experiments);
+    EXPECT_EQ(a.counterexamples, b.counterexamples);
+    EXPECT_EQ(a.inconclusive, b.inconclusive);
+    EXPECT_EQ(a.generationFailures, b.generationFailures);
+}
+
+TEST(Pipeline, ThreadCountDeterminism)
+{
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    cfg.programs = 8;
+    cfg.testsPerProgram = 6;
+    cfg.platform.noiseProbability = 0.05; // exercise the noise Rng too
+
+    ExperimentDb db_serial, db_parallel;
+    PipelineConfig serial = cfg;
+    serial.threads = 1;
+    serial.database = &db_serial;
+    PipelineConfig parallel = cfg;
+    parallel.threads = 4;
+    parallel.database = &db_parallel;
+
+    const RunStats s = Pipeline(serial).run();
+    const RunStats p = Pipeline(parallel).run();
+    expectSameCounters(s, p);
+    expectSameDb(db_serial, db_parallel);
+    EXPECT_GT(s.experiments, 0);
+}
+
+TEST(Pipeline, ThreadCountDeterminismWithLineCoverage)
+{
+    // The Mpart/Stride configuration drives the other solver paths:
+    // line-coverage redraws, per-pair retirement, refinement merge.
+    PipelineConfig cfg = baseConfig();
+    cfg.templateKind = gen::TemplateKind::Stride;
+    cfg.model = obs::ModelKind::Mpart;
+    cfg.refinement = obs::ModelKind::MpartRefined;
+    cfg.coverage = Coverage::PcAndLine;
+    cfg.programs = 6;
+    cfg.testsPerProgram = 6;
+    cfg.modelParams.attacker.loSet = 61;
+    cfg.platform.visibleLoSet = 61;
+    cfg.platform.visibleHiSet = 127;
+
+    ExperimentDb db_serial, db_parallel;
+    PipelineConfig serial = cfg;
+    serial.threads = 1;
+    serial.database = &db_serial;
+    PipelineConfig parallel = cfg;
+    parallel.threads = 3;
+    parallel.database = &db_parallel;
+
+    expectSameCounters(Pipeline(serial).run(),
+                       Pipeline(parallel).run());
+    expectSameDb(db_serial, db_parallel);
+}
+
+TEST(Pipeline, DeriveProgramSeedSpreadsAndIsStable)
+{
+    EXPECT_EQ(deriveProgramSeed(42, 0), deriveProgramSeed(42, 0));
+    EXPECT_NE(deriveProgramSeed(42, 0), deriveProgramSeed(42, 1));
+    EXPECT_NE(deriveProgramSeed(42, 0), deriveProgramSeed(43, 0));
+    // The program stream must not collapse onto the campaign seed.
+    EXPECT_NE(deriveProgramSeed(42, 0), 42u);
+}
+
+TEST(Pipeline, SymmetrizeModelPreservesRequiredDifferences)
+{
+    expr::ExprContext ctx;
+    const bir::Program prog =
+        bir::assemble("ldr x1, [x0]\nldr x2, [x1]\nret\n").program;
+    // The relation requires equal x0 and *different* x1 (a
+    // refinement disequality); x2 and memory are unconstrained.
+    expr::Expr f = ctx.conj({
+        ctx.eq(ctx.bvVar("x0_1"), ctx.bvVar("x0_2")),
+        ctx.neq(ctx.bvVar("x1_1"), ctx.bvVar("x1_2")),
+    });
+    expr::Assignment model;
+    model.bvVars["x0_1"] = 8;
+    model.bvVars["x0_2"] = 8;
+    model.bvVars["x1_1"] = 100;
+    model.bvVars["x1_2"] = 200;
+    model.bvVars["x2_1"] = 7;
+    model.bvVars["x2_2"] = 9;
+    model.mems["mem_1"].storeWord(0x100, 5);
+    model.mems["mem_2"].storeWord(0x100, 6);
+
+    Rng rng(1);
+    symmetrizeModel(f, prog, model, rng, 1.0);
+
+    // Required difference survives...
+    EXPECT_NE(model.bv("x1_1"), model.bv("x1_2"));
+    // ...incidental asymmetry is merged away.
+    EXPECT_EQ(model.bv("x0_1"), model.bv("x0_2"));
+    EXPECT_EQ(model.bv("x2_2"), 7u);
+    EXPECT_EQ(model.mems["mem_2"].load(0x100), 5u);
+}
+
+TEST(Pipeline, SymmetrizeModelZeroBiasIsANoOp)
+{
+    expr::ExprContext ctx;
+    const bir::Program prog =
+        bir::assemble("ldr x1, [x0]\nret\n").program;
+    expr::Expr f = ctx.eq(ctx.bvVar("x0_1"), ctx.bvVar("x0_1"));
+    expr::Assignment model;
+    model.bvVars["x1_1"] = 1;
+    model.bvVars["x1_2"] = 2;
+    Rng rng(1);
+    symmetrizeModel(f, prog, model, rng, 0.0);
+    EXPECT_EQ(model.bv("x1_1"), 1u);
+    EXPECT_EQ(model.bv("x1_2"), 2u);
+}
+
+TEST(Pipeline, ScaleFromEnvRejectsMalformedValues)
+{
+    setenv("SCAMV_SCALE", "0.25", 1);
+    EXPECT_DOUBLE_EQ(scaleFromEnv(1.0), 0.25);
+    setenv("SCAMV_SCALE", "abc", 1);
+    EXPECT_DOUBLE_EQ(scaleFromEnv(1.0), 1.0);
+    setenv("SCAMV_SCALE", "1.5x", 1);
+    EXPECT_DOUBLE_EQ(scaleFromEnv(2.0), 2.0);
+    setenv("SCAMV_SCALE", "-3", 1);
+    EXPECT_DOUBLE_EQ(scaleFromEnv(1.0), 1.0);
+    setenv("SCAMV_SCALE", "1e-1", 1);
+    EXPECT_DOUBLE_EQ(scaleFromEnv(1.0), 0.1);
+    unsetenv("SCAMV_SCALE");
+    EXPECT_DOUBLE_EQ(scaleFromEnv(0.5), 0.5);
 }
 
 TEST(Pipeline, SamplerStrategyAlsoWorks)

@@ -1,0 +1,110 @@
+/** @file Unit tests for the campaign thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hh"
+
+namespace scamv {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 500; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, SlotResultsAreVisibleAfterWait)
+{
+    // The pipeline's usage pattern: each task writes its own slot,
+    // wait() is the barrier before the single-threaded merge.
+    ThreadPool pool(3);
+    std::vector<int> slots(64, -1);
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&slots, i] { slots[i] = i * i; });
+    pool.wait();
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(slots[i], i * i);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterWaitAndAfterError)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The error is consumed; the pool keeps working.
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultThreadCountRespectsValidEnv)
+{
+    setenv("SCAMV_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    unsetenv("SCAMV_THREADS");
+}
+
+TEST(ThreadPool, DefaultThreadCountRejectsMalformedEnv)
+{
+    setenv("SCAMV_THREADS", "abc", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    setenv("SCAMV_THREADS", "4x", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    setenv("SCAMV_THREADS", "0", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    setenv("SCAMV_THREADS", "-2", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    unsetenv("SCAMV_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, ZeroThreadsSelectsDefault)
+{
+    setenv("SCAMV_THREADS", "2", 1);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 2u);
+    unsetenv("SCAMV_THREADS");
+}
+
+} // namespace
+} // namespace scamv
