@@ -55,13 +55,19 @@ class ParallelReport
         const core::RunStats parallel = core::Pipeline(cfg).run();
         const double parallel_s = parallel_watch.seconds();
 
+        // The merged metrics counters subsume the legacy RunStats
+        // fields (which are rebuilt from them), and also cover every
+        // solver/hardware counter reported by the layers below.
+        // Timings are excluded: in wall-clock mode they legitimately
+        // differ between the two runs.
         const bool identical =
             serial.programs == parallel.programs &&
             serial.programsWithCex == parallel.programsWithCex &&
             serial.experiments == parallel.experiments &&
             serial.counterexamples == parallel.counterexamples &&
             serial.inconclusive == parallel.inconclusive &&
-            serial.generationFailures == parallel.generationFailures;
+            serial.generationFailures == parallel.generationFailures &&
+            serial.metrics.counters == parallel.metrics.counters;
 
         Entry e;
         e.threads = n;

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate the JSON artifacts emitted by the bench smoke run.
+
+Two shapes are recognized (auto-detected per file):
+
+ - ``BENCH_parallel.json`` from bench/parallel_report.hh: campaign
+   speedup entries, each of which must be marked deterministic;
+ - ``scamv-metrics-v1`` from src/support/metrics (SCAMV_METRICS):
+   counters, gauges and histograms, with internally consistent
+   histogram bucket layouts.
+
+Exit status is non-zero if any file is missing, unparseable or
+malformed, which is what makes the CI bench-smoke job a real gate.
+
+Usage: check_bench_json.py FILE [FILE...]
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"{path}: {msg}")
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_parallel(path, doc):
+    campaigns = doc.get("campaigns")
+    if not isinstance(campaigns, dict) or not campaigns:
+        fail(path, "no campaigns recorded")
+    for name, entry in campaigns.items():
+        if not isinstance(entry, dict):
+            fail(path, f"campaign {name!r} is not an object")
+        for key in ("threads", "serial_s", "parallel_s", "speedup"):
+            if not is_num(entry.get(key)):
+                fail(path, f"campaign {name!r}: missing numeric {key!r}")
+        if entry["threads"] < 1:
+            fail(path, f"campaign {name!r}: threads < 1")
+        if entry["serial_s"] < 0 or entry["parallel_s"] < 0:
+            fail(path, f"campaign {name!r}: negative wall-clock")
+        if entry.get("deterministic") is not True:
+            fail(path, f"campaign {name!r}: serial/parallel runs "
+                       "disagree (deterministic != true)")
+    print(f"{path}: OK ({len(campaigns)} campaigns, all deterministic)")
+
+
+def check_metrics(path, doc):
+    counters = doc.get("counters")
+    gauges = doc.get("gauges")
+    histograms = doc.get("histograms")
+    if not isinstance(counters, dict) or not isinstance(gauges, dict) \
+            or not isinstance(histograms, dict):
+        fail(path, "missing counters/gauges/histograms objects")
+    for name, v in counters.items():
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(path, f"counter {name!r}: not a non-negative integer")
+    for name, v in gauges.items():
+        if not is_num(v):
+            fail(path, f"gauge {name!r}: not a number")
+    for name, h in histograms.items():
+        bounds = h.get("bounds")
+        counts = h.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            fail(path, f"histogram {name!r}: missing bounds/counts")
+        if len(counts) != len(bounds) + 1:
+            fail(path, f"histogram {name!r}: expected "
+                       f"{len(bounds) + 1} buckets, got {len(counts)}")
+        if bounds != sorted(bounds):
+            fail(path, f"histogram {name!r}: bounds not ascending")
+        if any(not isinstance(c, int) or c < 0 for c in counts):
+            fail(path, f"histogram {name!r}: bad bucket count")
+        if not is_num(h.get("sum")) or not isinstance(h.get("count"), int):
+            fail(path, f"histogram {name!r}: missing sum/count")
+        if sum(counts) != h["count"]:
+            fail(path, f"histogram {name!r}: buckets sum to "
+                       f"{sum(counts)}, count says {h['count']}")
+    if not counters:
+        fail(path, "empty counters (campaign recorded nothing?)")
+    print(f"{path}: OK ({len(counters)} counters, {len(gauges)} gauges, "
+          f"{len(histograms)} histograms)")
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(path, f"cannot read: {e}")
+    except json.JSONDecodeError as e:
+        fail(path, f"malformed JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if doc.get("schema") == "scamv-metrics-v1":
+        check_metrics(path, doc)
+    elif "campaigns" in doc:
+        check_parallel(path, doc)
+    else:
+        fail(path, "unrecognized schema (neither scamv-metrics-v1 "
+                   "nor a parallel-bench report)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit(__doc__.strip())
+    for path in argv[1:]:
+        check_file(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,7 +1,10 @@
 #include "core/pipeline.hh"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +15,7 @@
 #include "smt/solver.hh"
 #include "support/env.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/stopwatch.hh"
 #include "support/thread_pool.hh"
 
@@ -138,22 +142,21 @@ struct PairSolvers {
 /**
  * Everything one program task produces.  Slots are indexed by
  * program index and merged in order after the campaign barrier, so
- * the aggregate is independent of task scheduling.
+ * the aggregate is independent of task scheduling.  All counting and
+ * timing lives in the task's metrics snapshot; only what the merge
+ * needs per program (TTC reconstruction, record flushing) is kept
+ * alongside.
  */
 struct ProgramOutcome {
-    std::int64_t experiments = 0;
-    std::int64_t counterexamples = 0;
-    std::int64_t inconclusive = 0;
-    std::int64_t generationFailures = 0;
     bool hasCex = false;
-    double genSeconds = 0.0;
-    double exeSeconds = 0.0;
     /** Task-relative time of the first counterexample (-1: none). */
     double firstCexOffsetSeconds = -1.0;
     /** Total wall-clock of this task (sequential-campaign clock). */
     double taskSeconds = 0.0;
     /** Buffered database records, flushed in index order. */
     std::vector<ExperimentRecord> records;
+    /** This task's private metrics registry, frozen at task end. */
+    metrics::Snapshot metrics;
 };
 
 /**
@@ -168,6 +171,28 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
     ProgramOutcome out;
     Stopwatch task_watch;
 
+    // Every metric of this task accumulates in a private registry:
+    // the instrumented layers below (smt, sat, hw, harness) reach it
+    // through metrics::current(), and Pipeline::run() merges the
+    // snapshots in program-index order, keeping the campaign metrics
+    // independent of task scheduling.
+    metrics::Registry reg(cfg.deterministicMetricsTiming
+                              ? metrics::ClockMode::Deterministic
+                              : metrics::ClockMode::Wall);
+    metrics::ScopedRegistry scoped_registry(reg);
+    const double task_t0 = reg.now();
+    reg.counter("pipeline.programs").inc();
+
+    // Freeze the task's registry into the outcome; called on every
+    // exit path so even pair-less programs contribute a snapshot.
+    auto finish_task = [&] {
+        if (out.hasCex)
+            reg.counter("pipeline.programs_with_cex").inc();
+        reg.gauge("pipeline.task_seconds").add(reg.now() - task_t0);
+        out.metrics = reg.snapshot();
+        out.taskSeconds = task_watch.seconds();
+    };
+
     const std::uint64_t prog_seed = deriveProgramSeed(cfg.seed, prog_i);
     gen::GeneratorConfig gen_cfg;
     gen_cfg.lineBytes = cfg.modelParams.geom.lineBytes;
@@ -178,50 +203,60 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
     Rng rng(prog_seed ^ 0xc0ffeeULL);
 
     ExprContext ctx;
-    const bir::Program program = generator.next();
-
-    Stopwatch gen_watch;
 
     // ---- Observation augmentation (Sections 4.2.2, 5.1) --------
-    bir::Program model_prog = program;
-    if (instrument) {
-        if (cfg.rewriteJumps)
-            model_prog = bir::rewriteJumpsToCondBranches(model_prog);
-        model_prog = bir::instrumentSpeculation(model_prog);
-    }
-
+    bir::Program program, model_prog;
     std::unique_ptr<sym::Annotator> annotator;
-    if (cfg.refinement) {
-        annotator = std::make_unique<obs::RefinementPair>(
-            obs::makeModel(cfg.model, cfg.modelParams),
-            obs::makeModel(*cfg.refinement, cfg.modelParams));
-    } else {
-        annotator = obs::makeModel(cfg.model, cfg.modelParams);
+    {
+        metrics::PhaseTimer phase(reg, "generate");
+        program = generator.next();
+        model_prog = program;
+        if (instrument) {
+            if (cfg.rewriteJumps)
+                model_prog =
+                    bir::rewriteJumpsToCondBranches(model_prog);
+            model_prog = bir::instrumentSpeculation(model_prog);
+        }
+
+        if (cfg.refinement) {
+            annotator = std::make_unique<obs::RefinementPair>(
+                obs::makeModel(cfg.model, cfg.modelParams),
+                obs::makeModel(*cfg.refinement, cfg.modelParams));
+        } else {
+            annotator = obs::makeModel(cfg.model, cfg.modelParams);
+        }
     }
 
     // ---- Symbolic execution (cached per program) ----------------
-    auto paths1 = sym::execute(ctx, model_prog, *annotator, {"_1"});
-    auto paths2 = sym::execute(ctx, model_prog, *annotator, {"_2"});
+    std::vector<sym::PathResult> paths1, paths2;
+    {
+        metrics::PhaseTimer phase(reg, "symbolic_exec");
+        paths1 = sym::execute(ctx, model_prog, *annotator, {"_1"});
+        paths2 = sym::execute(ctx, model_prog, *annotator, {"_2"});
+    }
 
     rel::RelationConfig rel_cfg;
     rel_cfg.refine = cfg.refinement.has_value();
     rel_cfg.region = cfg.region;
     rel_cfg.geom = cfg.modelParams.geom;
-    rel::RelationSynthesizer relation(ctx, std::move(paths1),
-                                      std::move(paths2), rel_cfg);
+    std::optional<rel::RelationSynthesizer> relation;
+    {
+        metrics::PhaseTimer phase(reg, "relation_synthesis");
+        relation.emplace(ctx, std::move(paths1), std::move(paths2),
+                         rel_cfg);
+    }
 
     // Training paths (third symbolic execution, suffix "_t").
     std::vector<sym::PathResult> training_paths;
     if (cfg.train) {
+        metrics::PhaseTimer phase(reg, "symbolic_exec");
         auto mpc = obs::makeModel(obs::ModelKind::Mpc);
         training_paths = sym::execute(ctx, model_prog, *mpc, {"_t"});
     }
 
-    out.genSeconds += gen_watch.seconds();
-
-    const auto &pairs = relation.pairs();
+    const auto &pairs = relation->pairs();
     if (pairs.empty()) {
-        out.taskSeconds = task_watch.seconds();
+        finish_task();
         return out;
     }
 
@@ -235,8 +270,10 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
     // iteration.
     std::vector<Expr> formulas(pairs.size(), nullptr);
     auto formula_for = [&](std::size_t idx) {
-        if (!formulas[idx])
-            formulas[idx] = relation.formulaFor(pairs[idx]);
+        if (!formulas[idx]) {
+            metrics::PhaseTimer phase(reg, "relation_synthesis");
+            formulas[idx] = relation->formulaFor(pairs[idx]);
+        }
         return formulas[idx];
     };
 
@@ -253,7 +290,7 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
             return hit->second;
         std::optional<harness::ProgramInput> input;
         auto formula = rel::RelationSynthesizer::trainingFormula(
-            ctx, training_paths, relation.paths1()[pair.idx1],
+            ctx, training_paths, relation->paths1()[pair.idx1],
             rel_cfg);
         if (formula) {
             smt::SmtSolver ts(ctx, *formula);
@@ -281,14 +318,18 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
         ++rr;
         const rel::PathPair &pair = pairs[pair_idx];
 
-        Stopwatch test_gen_watch;
+        // Synthesized (and cached) outside the smt phase scope so
+        // nested relation_synthesis time is not charged twice.
+        const Expr pair_formula = formula_for(pair_idx);
         std::optional<expr::Assignment> model;
+        {
+        metrics::PhaseTimer phase(reg, "smt");
 
         if (cfg.strategy == SolveStrategy::Sampler) {
-            Expr f = formula_for(pair_idx);
+            Expr f = pair_formula;
             if (cfg.coverage == Coverage::PcAndLine) {
                 auto cov =
-                    relation.lineCoverageConstraint(pair, rng);
+                    relation->lineCoverageConstraint(pair, rng);
                 if (cov)
                     f = ctx.land(f, *cov);
             }
@@ -310,7 +351,7 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
             auto &solver = per_pair.solvers[pair_idx];
             if (!solver) {
                 solver = std::make_unique<smt::SmtSolver>(
-                    ctx, formula_for(pair_idx));
+                    ctx, pair_formula);
             }
             if (cfg.strategy == SolveStrategy::RandomPhases)
                 solver->randomizePhases(rng);
@@ -326,7 +367,7 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
                      outcome != smt::Outcome::Sat;
                      ++attempt) {
                     auto cov =
-                        relation.lineCoverageConstraint(pair, rng);
+                        relation->lineCoverageConstraint(pair, rng);
                     outcome =
                         cov ? solver->solveWith(*cov,
                                                 cfg.conflictBudget)
@@ -352,12 +393,12 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
             }
         }
         if (model && cfg.strategy == SolveStrategy::Canonical)
-            symmetrizeModel(formula_for(pair_idx), program, *model,
+            symmetrizeModel(pair_formula, program, *model,
                             rng, cfg.similarityBias);
-        out.genSeconds += test_gen_watch.seconds();
+        } // phase "smt"
 
         if (!model) {
-            ++out.generationFailures;
+            reg.counter("pipeline.generation_failures").inc();
             continue;
         }
 
@@ -366,18 +407,19 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
         tc.s2 = harness::inputFromAssignment(*model, "_2");
         const auto training = training_for(pair);
 
-        Stopwatch exe_watch;
-        const harness::ExperimentResult result =
-            platform.runExperiment(program, tc, training);
-        out.exeSeconds += exe_watch.seconds();
-        ++out.experiments;
+        harness::ExperimentResult result;
+        {
+            metrics::PhaseTimer phase(reg, "hw_run");
+            result = platform.runExperiment(program, tc, training);
+        }
+        reg.counter("pipeline.experiments").inc();
 
         if (cfg.database) {
             ExperimentRecord record;
             record.programName = program.name();
             record.programText = program.toString();
             record.pathId =
-                relation.paths1()[pair.idx1].pathId();
+                relation->paths1()[pair.idx1].pathId();
             record.testCase = tc;
             record.trained = training.has_value();
             record.verdict = result.verdict;
@@ -388,20 +430,20 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
 
         switch (result.verdict) {
           case harness::Verdict::Counterexample:
-            ++out.counterexamples;
+            reg.counter("pipeline.counterexamples").inc();
             out.hasCex = true;
             if (out.firstCexOffsetSeconds < 0)
                 out.firstCexOffsetSeconds = task_watch.seconds();
             break;
           case harness::Verdict::Inconclusive:
-            ++out.inconclusive;
+            reg.counter("pipeline.inconclusive").inc();
             break;
           case harness::Verdict::Indistinguishable:
             break;
         }
     }
 
-    out.taskSeconds = task_watch.seconds();
+    finish_task();
     return out;
 }
 
@@ -412,6 +454,24 @@ resolveThreads(int configured)
     if (configured > 0)
         return configured;
     return static_cast<int>(ThreadPool::defaultThreadCount());
+}
+
+/** @return snapshot counter value, or 0 when never touched. */
+std::int64_t
+counterOr0(const metrics::Snapshot &s, const std::string &name)
+{
+    auto it = s.counters.find(name);
+    return it == s.counters.end()
+               ? 0
+               : static_cast<std::int64_t>(it->second);
+}
+
+/** @return total seconds recorded in a phase histogram, or 0. */
+double
+histogramSumOr0(const metrics::Snapshot &s, const std::string &name)
+{
+    auto it = s.histograms.find(name);
+    return it == s.histograms.end() ? 0.0 : it->second.sum;
 }
 
 } // namespace
@@ -444,28 +504,70 @@ Pipeline::run()
         pool.wait();
     }
 
-    // Deterministic in-order merge.  ttcSeconds is rebuilt on the
-    // sequential-campaign clock: the sum of the task durations of
-    // all earlier programs plus the in-task offset of the first
-    // counterexample, so its meaning matches a threads=1 run.
-    double clock = 0.0;
-    for (const ProgramOutcome &out : slots) {
-        ++stats.programs;
-        stats.programsWithCex += out.hasCex;
-        stats.experiments += out.experiments;
-        stats.counterexamples += out.counterexamples;
-        stats.inconclusive += out.inconclusive;
-        stats.generationFailures += out.generationFailures;
-        stats.totalGenSeconds += out.genSeconds;
-        stats.totalExeSeconds += out.exeSeconds;
-        if (stats.ttcSeconds < 0 && out.firstCexOffsetSeconds >= 0)
-            stats.ttcSeconds = clock + out.firstCexOffsetSeconds;
-        clock += out.taskSeconds;
+    // Deterministic in-order merge.  Task snapshots are folded in
+    // program-index order, so the campaign snapshot is identical for
+    // any thread count; the db_merge phase of the campaign-level
+    // registry covers the fold plus the database flush.
+    metrics::Registry campaign_reg(cfg.deterministicMetricsTiming
+                                       ? metrics::ClockMode::Deterministic
+                                       : metrics::ClockMode::Wall);
+    {
+        metrics::PhaseTimer phase(campaign_reg, "db_merge");
+
+        // ttcSeconds is rebuilt on the sequential-campaign clock:
+        // the sum of the task durations of all earlier programs plus
+        // the in-task offset of the first counterexample, so its
+        // meaning matches a threads=1 run.
+        double clock = 0.0;
+        for (const ProgramOutcome &out : slots) {
+            stats.metrics.merge(out.metrics);
+            if (stats.ttcSeconds < 0 && out.firstCexOffsetSeconds >= 0)
+                stats.ttcSeconds = clock + out.firstCexOffsetSeconds;
+            clock += out.taskSeconds;
+        }
+        if (cfg.database) {
+            for (ProgramOutcome &out : slots)
+                for (ExperimentRecord &record : out.records)
+                    cfg.database->add(std::move(record));
+        }
     }
-    if (cfg.database) {
-        for (ProgramOutcome &out : slots)
-            for (ExperimentRecord &record : out.records)
-                cfg.database->add(std::move(record));
+    stats.metrics.merge(campaign_reg.snapshot());
+
+    // The legacy Table-1 counters are views of the merged snapshot:
+    // one source of truth, so reports and metrics cannot disagree.
+    stats.programs = static_cast<int>(
+        counterOr0(stats.metrics, "pipeline.programs"));
+    stats.programsWithCex = static_cast<int>(
+        counterOr0(stats.metrics, "pipeline.programs_with_cex"));
+    stats.experiments =
+        counterOr0(stats.metrics, "pipeline.experiments");
+    stats.counterexamples =
+        counterOr0(stats.metrics, "pipeline.counterexamples");
+    stats.inconclusive =
+        counterOr0(stats.metrics, "pipeline.inconclusive");
+    stats.generationFailures =
+        counterOr0(stats.metrics, "pipeline.generation_failures");
+    stats.totalGenSeconds =
+        histogramSumOr0(stats.metrics, "phase.generate_seconds") +
+        histogramSumOr0(stats.metrics, "phase.symbolic_exec_seconds") +
+        histogramSumOr0(stats.metrics,
+                        "phase.relation_synthesis_seconds") +
+        histogramSumOr0(stats.metrics, "phase.smt_seconds");
+    stats.totalExeSeconds =
+        histogramSumOr0(stats.metrics, "phase.hw_run_seconds");
+
+    // Optional exporters (see README): SCAMV_METRICS writes the JSON
+    // snapshot, SCAMV_METRICS_TABLE prints the text table to stderr.
+    if (const char *path = std::getenv("SCAMV_METRICS");
+        path && *path) {
+        if (!metrics::writeJson(stats.metrics, path))
+            warn("pipeline: cannot write metrics JSON to " +
+                 std::string(path));
+    }
+    if (const char *table = std::getenv("SCAMV_METRICS_TABLE");
+        table && *table && *table != '0') {
+        std::fputs(metrics::toTable(stats.metrics).render().c_str(),
+                   stderr);
     }
     return stats;
 }

@@ -32,6 +32,16 @@
  * order afterwards, so every statistic and database record is
  * bit-identical for any thread count (see DESIGN.md, "Concurrency
  * model").
+ *
+ * The campaign is instrumented end to end against the metrics
+ * registry (support/metrics.hh): each task owns a private registry
+ * receiving phase timings (generate / symbolic_exec /
+ * relation_synthesis / smt / hw_run) plus the solver and hardware
+ * counters reported from the layers below; task snapshots are merged
+ * in program-index order — the RunStats counters are rebuilt from
+ * that merged snapshot, which is also exported via `RunStats::metrics`
+ * and the SCAMV_METRICS / SCAMV_METRICS_TABLE environment variables
+ * (see DESIGN.md, "Observability").
  */
 
 #ifndef SCAMV_CORE_PIPELINE_HH
@@ -43,6 +53,7 @@
 #include "gen/templates.hh"
 #include "harness/platform.hh"
 #include "obs/models.hh"
+#include "support/metrics.hh"
 
 namespace scamv::core {
 
@@ -85,6 +96,14 @@ struct PipelineConfig {
      * for every value (see DESIGN.md, "Concurrency model").
      */
     int threads = 0;
+    /**
+     * Use the deterministic metrics clock (see support/metrics.hh):
+     * every duration in the campaign's metrics snapshot becomes a
+     * pure function of the instrumented call sequence, so the
+     * exported JSON is byte-identical for any thread count.  Used by
+     * the determinism tests; production runs keep wall-clock timing.
+     */
+    bool deterministicMetricsTiming = false;
 
     obs::ModelParams modelParams;
     obs::MemoryRegion region;
@@ -134,6 +153,15 @@ struct RunStats {
     double totalExeSeconds = 0.0;
     /** Wall-clock seconds to the first counterexample (-1: none). */
     double ttcSeconds = -1.0;
+    /**
+     * Merged campaign metrics (per-phase time histograms, solver and
+     * hardware counters) — the registry snapshot all counter fields
+     * above are rebuilt from, folded in program-index order so it is
+     * identical for any thread count.  Export with metrics::toJson /
+     * metrics::toTable, or via the SCAMV_METRICS environment
+     * variable (see README).
+     */
+    metrics::Snapshot metrics;
 
     double
     avgGenSeconds() const

@@ -1,6 +1,7 @@
 #include "harness/platform.hh"
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace scamv::harness {
 
@@ -68,6 +69,7 @@ Platform::measure(hw::Core &core, const bir::Program &program,
     // System interference: a stray access to a random line.
     if (cfg.noiseProbability > 0.0 &&
         noiseRng.chance(cfg.noiseProbability)) {
+        metrics::current().counter("platform.noise_injections").inc();
         const std::uint64_t set =
             cfg.visibleLoSet +
             noiseRng.below(cfg.visibleHiSet - cfg.visibleLoSet + 1);
@@ -113,6 +115,13 @@ Platform::runExperiment(const bir::Program &program, const TestCase &tc,
                         const std::optional<ProgramInput> &training)
 {
     SCAMV_ASSERT(cfg.repeats > 0, "repeats must be positive");
+    metrics::Registry &reg = metrics::current();
+    reg.counter("platform.experiments").inc();
+    reg.counter("platform.repetitions")
+        .add(static_cast<std::uint64_t>(cfg.repeats));
+    reg.counter("platform.training_runs")
+        .add(static_cast<std::uint64_t>(cfg.repeats) *
+             static_cast<std::uint64_t>(cfg.trainingRuns));
     ExperimentResult result;
     result.totalReps = cfg.repeats;
 

@@ -1,6 +1,7 @@
 #include "hw/core.hh"
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace scamv::hw {
 
@@ -133,6 +134,8 @@ Core::run(const bir::Program &program, const ArchState &init)
 {
     SCAMV_ASSERT(program.validate().empty(), "core: invalid program");
     RunResult result;
+    const std::uint64_t cache_hits0 = dcache.hits();
+    const std::uint64_t cache_misses0 = dcache.misses();
     std::array<std::uint64_t, bir::kNumRegs> regs = init.regs;
 
     const int n = static_cast<int>(program.size());
@@ -218,6 +221,24 @@ Core::run(const bir::Program &program, const ArchState &init)
         }
     }
     result.finalState.regs = regs;
+
+    // Flush this run's microarchitectural activity into the current
+    // metrics registry (per-program inside a pipeline task, global
+    // otherwise).  One batch per run keeps the per-access paths free
+    // of registry lookups.
+    metrics::Registry &reg = metrics::current();
+    reg.counter("hw.runs").inc();
+    reg.counter("hw.instructions").add(result.instructions);
+    reg.counter("hw.cycles").add(result.cycles);
+    reg.counter("hw.cache.hits").add(dcache.hits() - cache_hits0);
+    reg.counter("hw.cache.misses").add(dcache.misses() - cache_misses0);
+    reg.counter("hw.prefetch.issued").add(result.prefetches);
+    reg.counter("hw.branch.mispredicts").add(result.mispredicts);
+    reg.counter("hw.tlb.misses").add(result.tlbMisses);
+    reg.counter("hw.transient_loads.issued")
+        .add(result.transientLoadsIssued);
+    reg.counter("hw.transient_loads.blocked")
+        .add(result.transientLoadsBlocked);
     return result;
 }
 
@@ -225,6 +246,9 @@ std::uint64_t
 Core::timedLoad(std::uint64_t addr)
 {
     const bool hit = dcache.access(addr);
+    metrics::current()
+        .counter(hit ? "hw.probe.hits" : "hw.probe.misses")
+        .inc();
     return hit ? cfg.hitLatency : cfg.missLatency;
 }
 

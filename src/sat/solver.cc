@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace scamv::sat {
 
@@ -422,8 +423,12 @@ Result
 Solver::solveAssuming(const std::vector<Lit> &assumptions,
                       std::int64_t conflict_budget)
 {
+    metrics::current().counter("sat.solve_calls").inc();
     if (!okay)
         return Result::Unsat;
+    const std::uint64_t conflicts0 = nConflicts;
+    const std::uint64_t decisions0 = nDecisions;
+    const std::uint64_t propagations0 = nPropagations;
     const std::int64_t budget =
         conflict_budget < 0 ? -1 : conflict_budget +
         static_cast<std::int64_t>(nConflicts);
@@ -435,6 +440,11 @@ Solver::solveAssuming(const std::vector<Lit> &assumptions,
                 savedPhase[v] = assigns[v] == LBool::True;
     }
     cancelUntil(0);
+
+    metrics::Registry &reg = metrics::current();
+    reg.counter("sat.conflicts").add(nConflicts - conflicts0);
+    reg.counter("sat.decisions").add(nDecisions - decisions0);
+    reg.counter("sat.propagations").add(nPropagations - propagations0);
     return r;
 }
 

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace scamv::smt {
 
@@ -286,8 +287,13 @@ RepairSampler::trySatisfy(Expr e, bool want, Assignment &a, int depth)
 std::optional<Assignment>
 RepairSampler::sample()
 {
+    metrics::Registry &reg = metrics::current();
+    reg.counter("smt.sampler.calls").inc();
+    const double t0 = reg.now();
     Assignment a;
     for (int restart = 0; restart < config.maxRestarts; ++restart) {
+        if (restart > 0)
+            reg.counter("smt.sampler.restarts").inc();
         initAssignment(a);
         seedMemoryCells(a);
         for (int iter = 0; iter < config.maxIters; ++iter) {
@@ -297,14 +303,21 @@ RepairSampler::sample()
                 if (!expr::evalBool(c, a))
                     violated.push_back(c);
             if (violated.empty()) {
-                if (expr::evalBool(formula, a))
+                if (expr::evalBool(formula, a)) {
+                    reg.counter("smt.sampler.models").inc();
+                    reg.histogram("smt.sampler.seconds")
+                        .observe(reg.now() - t0);
                     return a;
+                }
                 SCAMV_PANIC("sampler: conjunct/formula disagreement");
             }
             Expr target = rng.pick(violated);
             trySatisfy(target, true, a, 0);
         }
     }
+    // Budget exhausted: the caller falls back to the CDCL solver.
+    reg.counter("smt.sampler.failures").inc();
+    reg.histogram("smt.sampler.seconds").observe(reg.now() - t0);
     return std::nullopt;
 }
 

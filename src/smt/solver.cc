@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace scamv::smt {
 
@@ -163,15 +164,35 @@ SmtSolver::require(Expr constraint)
     blaster.assertTrue(lowerAndAckermannize(constraint));
 }
 
+namespace {
+
+/** Tally one query and its outcome into the current registry. */
+Outcome
+recordQuery(Outcome outcome, double start_time)
+{
+    metrics::Registry &reg = metrics::current();
+    reg.histogram("smt.solve_seconds").observe(reg.now() - start_time);
+    reg.counter("smt.queries").inc();
+    switch (outcome) {
+      case Outcome::Sat: reg.counter("smt.sat").inc(); break;
+      case Outcome::Unsat: reg.counter("smt.unsat").inc(); break;
+      case Outcome::Unknown: reg.counter("smt.unknown").inc(); break;
+    }
+    return outcome;
+}
+
+} // namespace
+
 Outcome
 SmtSolver::solve(std::int64_t conflict_budget)
 {
+    const double t0 = metrics::current().now();
     switch (sat.solve(conflict_budget)) {
-      case sat::Result::Sat: return Outcome::Sat;
-      case sat::Result::Unsat: return Outcome::Unsat;
-      case sat::Result::Unknown: return Outcome::Unknown;
+      case sat::Result::Sat: return recordQuery(Outcome::Sat, t0);
+      case sat::Result::Unsat: return recordQuery(Outcome::Unsat, t0);
+      case sat::Result::Unknown: return recordQuery(Outcome::Unknown, t0);
     }
-    return Outcome::Unknown;
+    return recordQuery(Outcome::Unknown, t0);
 }
 
 Outcome
@@ -179,13 +200,14 @@ SmtSolver::solveWith(Expr temporary, std::int64_t conflict_budget)
 {
     SCAMV_ASSERT(temporary->sort == expr::Sort::Bool,
                  "solveWith: non-boolean constraint");
+    const double t0 = metrics::current().now();
     const sat::Lit l = blaster.boolLit(lowerAndAckermannize(temporary));
     switch (sat.solveAssuming({l}, conflict_budget)) {
-      case sat::Result::Sat: return Outcome::Sat;
-      case sat::Result::Unsat: return Outcome::Unsat;
-      case sat::Result::Unknown: return Outcome::Unknown;
+      case sat::Result::Sat: return recordQuery(Outcome::Sat, t0);
+      case sat::Result::Unsat: return recordQuery(Outcome::Unsat, t0);
+      case sat::Result::Unknown: return recordQuery(Outcome::Unknown, t0);
     }
-    return Outcome::Unknown;
+    return recordQuery(Outcome::Unknown, t0);
 }
 
 expr::Assignment

@@ -1,11 +1,17 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace scamv {
 
 namespace {
-bool gVerbose = true;
+// Read from pipeline worker threads while e.g. a bench main thread may
+// call setVerbose: must be atomic.  The mutex keeps concurrent
+// warn/inform lines from interleaving mid-line.
+std::atomic<bool> gVerbose{true};
+std::mutex gOutputMutex;
 } // namespace
 
 void
@@ -25,26 +31,29 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warn(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(gOutputMutex);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 inform(const std::string &msg)
 {
-    if (gVerbose)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (!gVerbose.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(gOutputMutex);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 setVerbose(bool verbose)
 {
-    gVerbose = verbose;
+    gVerbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return gVerbose;
+    return gVerbose.load(std::memory_order_relaxed);
 }
 
 } // namespace scamv

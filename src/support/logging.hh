@@ -6,6 +6,10 @@
  * violations (framework bugs), fatal() for unrecoverable user errors
  * (bad configuration), warn()/inform() for status messages.  The
  * library does not use C++ exceptions.
+ *
+ * All entry points are thread-safe: the verbosity flag is atomic and
+ * warn()/inform() lines are serialized, so messages from pipeline
+ * worker threads never interleave mid-line.
  */
 
 #ifndef SCAMV_SUPPORT_LOGGING_HH
