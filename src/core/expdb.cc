@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "support/faults.hh"
 #include "support/table.hh"
 
 namespace scamv::core {
@@ -20,11 +21,16 @@ verdictName(harness::Verdict v)
     return "?";
 }
 
-void
+bool
 ExperimentDb::add(ExperimentRecord record)
 {
+    // Injected storage failure: the record is lost before it reaches
+    // the log, as if the backing store rejected the insert.
+    if (faults::maybeInject(faults::Site::DbWrite))
+        return false;
     std::lock_guard<std::mutex> lock(writeMutex);
     records.push_back(std::move(record));
+    return true;
 }
 
 std::size_t

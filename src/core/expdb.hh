@@ -50,8 +50,13 @@ struct ExperimentRecord {
 class ExperimentDb
 {
   public:
-    /** Append one record (safe to call from multiple threads). */
-    void add(ExperimentRecord record);
+    /**
+     * Append one record (safe to call from multiple threads).
+     * @return false when the write is dropped by an injected
+     *         `db_write` fault (see support/faults.hh); the caller may
+     *         retry with a fresh copy of the record.
+     */
+    bool add(ExperimentRecord record);
 
     std::size_t size() const { return records.size(); }
     const std::vector<ExperimentRecord> &all() const { return records; }

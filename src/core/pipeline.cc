@@ -1,10 +1,13 @@
 #include "core/pipeline.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -14,6 +17,7 @@
 #include "smt/sampler.hh"
 #include "smt/solver.hh"
 #include "support/env.hh"
+#include "support/faults.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/stopwatch.hh"
@@ -149,6 +153,13 @@ struct PairSolvers {
  */
 struct ProgramOutcome {
     bool hasCex = false;
+    /** Task died with an exception (caught by the campaign guard). */
+    bool failed = false;
+    /** Remaining tests abandoned after repeated injected failures. */
+    bool quarantined = false;
+    /** Generated program name ("program-<i>" when generation never
+     *  ran, e.g. after an injected task abort). */
+    std::string name;
     /** Task-relative time of the first counterexample (-1: none). */
     double firstCexOffsetSeconds = -1.0;
     /** Total wall-clock of this task (sequential-campaign clock). */
@@ -158,6 +169,27 @@ struct ProgramOutcome {
     /** This task's private metrics registry, frozen at task end. */
     metrics::Snapshot metrics;
 };
+
+/**
+ * Record one bounded backoff step before a stage retry.  The delay
+ * doubles per attempt (1 ms base, capped at ~1 s); it is always
+ * recorded in `retry.backoff_seconds`, but only slept on the wall
+ * clock — under the deterministic clock a retried campaign stays a
+ * pure function of the call sequence, hence byte-identical across
+ * thread counts.
+ */
+void
+retryBackoff(metrics::Registry &reg, const char *stage, int attempt)
+{
+    reg.counter("retry.attempts").inc();
+    reg.counter(std::string("retry.attempts.") + stage).inc();
+    const double delay =
+        0.001 * static_cast<double>(1ULL << std::min(attempt, 10));
+    reg.gauge("retry.backoff_seconds").add(delay);
+    if (reg.clockMode() == metrics::ClockMode::Wall)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(delay));
+}
 
 /**
  * Run the whole experiment campaign of one program.  Pure function
@@ -182,6 +214,22 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
     metrics::ScopedRegistry scoped_registry(reg);
     const double task_t0 = reg.now();
     reg.counter("pipeline.programs").inc();
+    out.name = "program-" + std::to_string(prog_i);
+
+    // Fault plan: install this task's injector (thread-local, like
+    // the registry above).  Decisions are pure functions of
+    // (cfg.seed, prog_i, site, attempt), so injected campaigns replay
+    // byte-identically for any thread count.  With a disabled plan no
+    // injector exists and every maybeInject() below is a null test.
+    faults::Injector injector(cfg.faultPlan, cfg.seed, prog_i);
+    std::optional<faults::ScopedInjector> scoped_injector;
+    if (cfg.faultPlan.enabled())
+        scoped_injector.emplace(injector);
+    // Injected task death: thrown before any work, caught by the
+    // campaign guard (runOneProgramGuarded), which re-counts it.
+    if (faults::maybeInject(faults::Site::TaskAbort))
+        throw faults::InjectedTaskFault(prog_i);
+    const int retry_max = cfg.retryMax < 0 ? 2 : cfg.retryMax;
 
     // Freeze the task's registry into the outcome; called on every
     // exit path so even pair-less programs contribute a snapshot.
@@ -210,6 +258,7 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
     {
         metrics::PhaseTimer phase(reg, "generate");
         program = generator.next();
+        out.name = program.name();
         model_prog = program;
         if (instrument) {
             if (cfg.rewriteJumps)
@@ -303,8 +352,11 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
     };
 
     std::size_t rr = 0; // round-robin cursor over path pairs
+    int fault_failures = 0; // consecutive injected-fault test failures
 
     for (int test_i = 0; test_i < cfg.testsPerProgram; ++test_i) {
+        const std::uint64_t test_faults0 = faults::injectedCount();
+
         // Advance to the next live pair.
         std::size_t probe = 0;
         while (probe < pairs.size() &&
@@ -325,73 +377,98 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
         {
         metrics::PhaseTimer phase(reg, "smt");
 
-        if (cfg.strategy == SolveStrategy::Sampler) {
-            Expr f = pair_formula;
-            if (cfg.coverage == Coverage::PcAndLine) {
-                auto cov =
-                    relation->lineCoverageConstraint(pair, rng);
-                if (cov)
-                    f = ctx.land(f, *cov);
-            }
-            smt::SamplerConfig sampler_cfg;
-            sampler_cfg.regionBase = cfg.region.base;
-            sampler_cfg.regionLimit = cfg.region.limit();
-            smt::RepairSampler sampler(ctx, f, rng, sampler_cfg);
-            model = sampler.sample();
-            if (!model) {
-                // Fall back to the complete solver.
-                smt::SmtSolver fallback(ctx, f);
-                if (fallback.solve(cfg.conflictBudget) ==
-                    smt::Outcome::Sat)
-                    model = fallback.model();
-                else
-                    per_pair.dead[pair_idx] = true;
-            }
-        } else {
-            auto &solver = per_pair.solvers[pair_idx];
-            if (!solver) {
-                solver = std::make_unique<smt::SmtSolver>(
-                    ctx, pair_formula);
-            }
-            if (cfg.strategy == SolveStrategy::RandomPhases)
-                solver->randomizePhases(rng);
+        bool retire_pair = false;
+        for (int attempt = 0;; ++attempt) {
+            const std::uint64_t before = faults::injectedCount();
+            // Each retry doubles the per-query conflict budget — the
+            // time/attempt budget granted to a timed-out query.
+            const std::int64_t budget =
+                cfg.conflictBudget << std::min(attempt, 8);
+            retire_pair = false;
 
-            smt::Outcome outcome = smt::Outcome::Unsat;
-            if (cfg.coverage == Coverage::PcAndLine) {
-                // Randomly drawn set-index classes often
-                // contradict the relation (e.g. distinct classes
-                // pinned inside the attacker region); redraw a few
-                // times before charging a generation failure.
-                for (int attempt = 0;
-                     attempt < cfg.coverageRetries &&
-                     outcome != smt::Outcome::Sat;
-                     ++attempt) {
+            if (cfg.strategy == SolveStrategy::Sampler) {
+                Expr f = pair_formula;
+                if (cfg.coverage == Coverage::PcAndLine) {
                     auto cov =
                         relation->lineCoverageConstraint(pair, rng);
-                    outcome =
-                        cov ? solver->solveWith(*cov,
-                                                cfg.conflictBudget)
-                            : solver->solve(cfg.conflictBudget);
-                    if (!cov)
-                        break;
+                    if (cov)
+                        f = ctx.land(f, *cov);
+                }
+                smt::SamplerConfig sampler_cfg;
+                sampler_cfg.regionBase = cfg.region.base;
+                sampler_cfg.regionLimit = cfg.region.limit();
+                smt::RepairSampler sampler(ctx, f, rng, sampler_cfg);
+                model = sampler.sample();
+                if (!model) {
+                    // Fall back to the complete solver.
+                    smt::SmtSolver fallback(ctx, f);
+                    if (fallback.solve(budget) == smt::Outcome::Sat)
+                        model = fallback.model();
+                    else
+                        retire_pair = true;
                 }
             } else {
-                outcome = solver->solve(cfg.conflictBudget);
+                auto &solver = per_pair.solvers[pair_idx];
+                if (!solver) {
+                    solver = std::make_unique<smt::SmtSolver>(
+                        ctx, pair_formula);
+                }
+                if (cfg.strategy == SolveStrategy::RandomPhases)
+                    solver->randomizePhases(rng);
+
+                smt::Outcome outcome = smt::Outcome::Unsat;
+                if (cfg.coverage == Coverage::PcAndLine) {
+                    // Randomly drawn set-index classes often
+                    // contradict the relation (e.g. distinct classes
+                    // pinned inside the attacker region); redraw a
+                    // few times before charging a generation failure.
+                    for (int redraw = 0;
+                         redraw < cfg.coverageRetries &&
+                         outcome != smt::Outcome::Sat;
+                         ++redraw) {
+                        auto cov =
+                            relation->lineCoverageConstraint(pair,
+                                                             rng);
+                        outcome =
+                            cov ? solver->solveWith(*cov, budget)
+                                : solver->solve(budget);
+                        if (!cov)
+                            break;
+                    }
+                } else {
+                    outcome = solver->solve(budget);
+                }
+
+                if (outcome == smt::Outcome::Sat) {
+                    model = solver->model();
+                    if (!solver->blockCurrentModel(
+                            blockingVars(ctx, program),
+                            cfg.blockingBits))
+                        per_pair.dead[pair_idx] = true;
+                } else if (cfg.coverage != Coverage::PcAndLine ||
+                           outcome == smt::Outcome::Unknown) {
+                    // Without per-test coverage constraints an Unsat
+                    // relation stays Unsat: retire the pair.
+                    retire_pair = true;
+                }
             }
 
-            if (outcome == smt::Outcome::Sat) {
-                model = solver->model();
-                if (!solver->blockCurrentModel(
-                        blockingVars(ctx, program),
-                        cfg.blockingBits))
-                    per_pair.dead[pair_idx] = true;
-            } else if (cfg.coverage != Coverage::PcAndLine ||
-                       outcome == smt::Outcome::Unknown) {
-                // Without per-test coverage constraints an Unsat
-                // relation stays Unsat: retire the pair.
-                per_pair.dead[pair_idx] = true;
-            }
+            if (model)
+                break;
+            // Delta-gated retry: only an attempt polluted by an
+            // injected fault is re-run (with backoff and a doubled
+            // budget); genuine Unsat/exhaustion keeps its original
+            // fault-free behaviour and is never retried.
+            const bool polluted = faults::injectedCount() != before;
+            if (polluted)
+                retire_pair = false; // not attributable to the pair
+            if (!polluted || attempt >= retry_max)
+                break;
+            retryBackoff(reg, "smt", attempt);
         }
+
+        if (!model && retire_pair)
+            per_pair.dead[pair_idx] = true;
         if (model && cfg.strategy == SolveStrategy::Canonical)
             symmetrizeModel(pair_formula, program, *model,
                             rng, cfg.similarityBias);
@@ -399,8 +476,24 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
 
         if (!model) {
             reg.counter("pipeline.generation_failures").inc();
+            if (faults::injectedCount() != test_faults0) {
+                // The test failed because of injected faults, not on
+                // its own merits.  A program that keeps losing tests
+                // this way is quarantined: its remaining tests are
+                // abandoned and it is listed in the campaign report
+                // instead of stalling the run.
+                if (++fault_failures >= cfg.quarantineAfter) {
+                    out.quarantined = true;
+                    reg.counter("pipeline.quarantined").inc();
+                    reg.counter("pipeline.degraded").inc();
+                    break;
+                }
+            } else {
+                fault_failures = 0;
+            }
             continue;
         }
+        fault_failures = 0;
 
         harness::TestCase tc;
         tc.s1 = harness::inputFromAssignment(*model, "_1");
@@ -410,9 +503,26 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
         harness::ExperimentResult result;
         {
             metrics::PhaseTimer phase(reg, "hw_run");
-            result = platform.runExperiment(program, tc, training);
+            for (int attempt = 0;; ++attempt) {
+                const std::uint64_t before = faults::injectedCount();
+                result = platform.runExperiment(program, tc,
+                                                training);
+                // Delta-gated retry: re-measure only when this run
+                // was polluted by injected measurement faults, in
+                // the hope of a clean repetition set.
+                if (faults::injectedCount() == before ||
+                    attempt >= retry_max)
+                    break;
+                retryBackoff(reg, "hw_run", attempt);
+            }
         }
         reg.counter("pipeline.experiments").inc();
+        if (result.flakedReps > 0) {
+            // Accepted, but on flaky measurements: the verdict has
+            // already been degraded to at most Inconclusive by the
+            // platform (unless every clean repetition differed).
+            reg.counter("pipeline.degraded").inc();
+        }
 
         if (cfg.database) {
             ExperimentRecord record;
@@ -444,6 +554,50 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
     }
 
     finish_task();
+    return out;
+}
+
+/**
+ * Campaign guard around runOneProgram: a task that dies with an
+ * exception (injected or genuine) must cost exactly one program, not
+ * the campaign.  The failed program is counted in a fresh
+ * deterministic registry — the task's own registry died with it — so
+ * the merged campaign metrics still account for the program and, for
+ * the injected case, for its fault.
+ */
+ProgramOutcome
+runOneProgramGuarded(const PipelineConfig &cfg, bool instrument,
+                     int prog_i)
+{
+    ProgramOutcome out;
+    bool injected = false;
+    try {
+        return runOneProgram(cfg, instrument, prog_i);
+    } catch (const faults::InjectedTaskFault &e) {
+        injected = true;
+        warn(std::string("pipeline: ") + e.what());
+    } catch (const std::exception &e) {
+        warn("pipeline: program task " + std::to_string(prog_i) +
+             " failed: " + e.what());
+    } catch (...) {
+        warn("pipeline: program task " + std::to_string(prog_i) +
+             " failed with a non-standard exception");
+    }
+    out.failed = true;
+    out.name = "program-" + std::to_string(prog_i);
+    metrics::Registry reg(cfg.deterministicMetricsTiming
+                              ? metrics::ClockMode::Deterministic
+                              : metrics::ClockMode::Wall);
+    reg.counter("pipeline.programs").inc();
+    reg.counter("pipeline.program_failures").inc();
+    reg.counter("pipeline.degraded").inc();
+    if (injected) {
+        reg.counter("faults.injected").inc();
+        reg.counter(std::string("faults.injected.") +
+                    faults::siteName(faults::Site::TaskAbort))
+            .inc();
+    }
+    out.metrics = reg.snapshot();
     return out;
 }
 
@@ -481,6 +635,15 @@ Pipeline::run()
 {
     RunStats stats;
 
+    // Resolve the failure-model knobs once per run: an explicitly
+    // configured plan wins, otherwise the environment is consulted
+    // (SCAMV_FAULT_RATE / SCAMV_FAULT_PLAN / SCAMV_RETRY_MAX).
+    if (!cfg.faultPlan.enabled())
+        cfg.faultPlan = faults::FaultPlan::fromEnv();
+    if (cfg.retryMax < 0)
+        cfg.retryMax = static_cast<int>(
+            envLong("SCAMV_RETRY_MAX", 0, 64).value_or(2));
+
     const bool instrument = needsSpecInstrumentation(cfg);
     const int n_threads = resolveThreads(cfg.threads);
 
@@ -493,12 +656,14 @@ Pipeline::run()
     if (n_threads <= 1 || cfg.programs <= 1) {
         // Reference path: plain sequential loop on this thread.
         for (int prog_i = 0; prog_i < cfg.programs; ++prog_i)
-            slots[prog_i] = runOneProgram(cfg, instrument, prog_i);
+            slots[prog_i] =
+                runOneProgramGuarded(cfg, instrument, prog_i);
     } else {
         ThreadPool pool(static_cast<unsigned>(n_threads));
         for (int prog_i = 0; prog_i < cfg.programs; ++prog_i) {
             pool.submit([this, instrument, prog_i, &slots] {
-                slots[prog_i] = runOneProgram(cfg, instrument, prog_i);
+                slots[prog_i] =
+                    runOneProgramGuarded(cfg, instrument, prog_i);
             });
         }
         pool.wait();
@@ -524,11 +689,54 @@ Pipeline::run()
             if (stats.ttcSeconds < 0 && out.firstCexOffsetSeconds >= 0)
                 stats.ttcSeconds = clock + out.firstCexOffsetSeconds;
             clock += out.taskSeconds;
+            if (out.quarantined)
+                stats.quarantinedPrograms.push_back(out.name);
+            if (out.failed)
+                stats.failedPrograms.push_back(out.name);
         }
         if (cfg.database) {
-            for (ProgramOutcome &out : slots)
-                for (ExperimentRecord &record : out.records)
-                    cfg.database->add(std::move(record));
+            // Flush sequentially in program-index order so the
+            // record sequence — and any injected db_write decision —
+            // is independent of the thread count.  The fault plan's
+            // DbWrite site can reject a write; rejected writes are
+            // retried with backoff and finally dropped (counted, not
+            // fatal: the campaign completes with a partial log).
+            metrics::ScopedRegistry flush_scope(campaign_reg);
+            const bool db_faults = cfg.faultPlan.enabled() &&
+                                   cfg.faultPlan.covers(
+                                       faults::Site::DbWrite);
+            for (std::size_t prog_i = 0; prog_i < slots.size();
+                 ++prog_i) {
+                faults::Injector db_injector(
+                    cfg.faultPlan, cfg.seed, static_cast<int>(prog_i));
+                std::optional<faults::ScopedInjector> inj_scope;
+                if (db_faults)
+                    inj_scope.emplace(db_injector);
+                for (ExperimentRecord &record :
+                     slots[prog_i].records) {
+                    bool written = false;
+                    for (int attempt = 0;; ++attempt) {
+                        const std::uint64_t before =
+                            faults::injectedCount();
+                        // add() consumes the record, so attempts
+                        // that can fail get their own copy.
+                        written = db_faults
+                                      ? cfg.database->add(record)
+                                      : cfg.database->add(
+                                            std::move(record));
+                        if (written ||
+                            faults::injectedCount() == before ||
+                            attempt >= cfg.retryMax)
+                            break;
+                        retryBackoff(campaign_reg, "db_write",
+                                     attempt);
+                    }
+                    if (!written)
+                        campaign_reg
+                            .counter("pipeline.db_write_drops")
+                            .inc();
+                }
+            }
         }
     }
     stats.metrics.merge(campaign_reg.snapshot());
@@ -547,6 +755,16 @@ Pipeline::run()
         counterOr0(stats.metrics, "pipeline.inconclusive");
     stats.generationFailures =
         counterOr0(stats.metrics, "pipeline.generation_failures");
+    stats.faultsInjected = counterOr0(stats.metrics, "faults.injected");
+    stats.retryAttempts = counterOr0(stats.metrics, "retry.attempts");
+    stats.quarantined = static_cast<int>(
+        counterOr0(stats.metrics, "pipeline.quarantined"));
+    stats.degraded = static_cast<int>(
+        counterOr0(stats.metrics, "pipeline.degraded"));
+    stats.programFailures = static_cast<int>(
+        counterOr0(stats.metrics, "pipeline.program_failures"));
+    stats.dbWriteDrops =
+        counterOr0(stats.metrics, "pipeline.db_write_drops");
     stats.totalGenSeconds =
         histogramSumOr0(stats.metrics, "phase.generate_seconds") +
         histogramSumOr0(stats.metrics, "phase.symbolic_exec_seconds") +

@@ -49,10 +49,12 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "gen/templates.hh"
 #include "harness/platform.hh"
 #include "obs/models.hh"
+#include "support/faults.hh"
 #include "support/metrics.hh"
 
 namespace scamv::core {
@@ -138,6 +140,32 @@ struct PipelineConfig {
      * Not owned; must outlive the pipeline run.
      */
     ExperimentDb *database = nullptr;
+
+    /**
+     * Fault-injection plan (see support/faults.hh).  Disabled by
+     * default; a disabled plan is overlaid with SCAMV_FAULT_RATE /
+     * SCAMV_FAULT_PLAN from the environment at run() time.  When the
+     * resolved plan stays disabled no injector is installed and the
+     * instrumented sites reduce to a thread-local null test.
+     */
+    faults::FaultPlan faultPlan;
+    /**
+     * Maximum extra attempts per stage when the previous attempt was
+     * polluted by an injected fault.  -1 = resolve from the validated
+     * SCAMV_RETRY_MAX environment variable, defaulting to 2.  Retries
+     * are delta-gated on the injected-fault count, so genuine
+     * (non-injected) failures are never retried and a fault-free
+     * campaign behaves exactly as before.
+     */
+    int retryMax = -1;
+    /**
+     * Quarantine a program after this many *consecutive* test
+     * iterations that failed attributably to injected faults: the
+     * remaining tests of the program are abandoned and the program is
+     * listed in RunStats::quarantinedPrograms instead of stalling the
+     * campaign.
+     */
+    int quarantineAfter = 3;
 };
 
 /** Campaign statistics, mirroring a column of Table 1 / Fig. 7. */
@@ -149,6 +177,23 @@ struct RunStats {
     std::int64_t counterexamples = 0;
     std::int64_t inconclusive = 0;
     std::int64_t generationFailures = 0;
+    /** Faults injected by the active fault plan (0 when disabled). */
+    std::int64_t faultsInjected = 0;
+    /** Delta-gated stage retries taken after injected faults. */
+    std::int64_t retryAttempts = 0;
+    /** Programs abandoned after repeated injected failures. */
+    int quarantined = 0;
+    /** Degraded outcomes: quarantined/failed programs and accepted
+     *  experiments whose repetitions carried injected flakes. */
+    int degraded = 0;
+    /** Program tasks that died with an exception (campaign survived). */
+    int programFailures = 0;
+    /** Database records dropped after exhausting write retries. */
+    std::int64_t dbWriteDrops = 0;
+    /** Names of quarantined programs, in program-index order. */
+    std::vector<std::string> quarantinedPrograms;
+    /** Names of failed program tasks, in program-index order. */
+    std::vector<std::string> failedPrograms;
     double totalGenSeconds = 0.0;
     double totalExeSeconds = 0.0;
     /** Wall-clock seconds to the first counterexample (-1: none). */

@@ -67,7 +67,60 @@ renderCampaignTable(const std::vector<ColumnMeta> &metas,
         return s.ttcSeconds < 0 ? std::string("-")
                                 : fmtDouble(s.ttcSeconds, 2);
     });
+
+    // Resilience rows appear only when some campaign ran under a
+    // fault plan, keeping the fault-free table in the paper layout.
+    bool any_faults = false;
+    for (const RunStats &s : stats)
+        any_faults |= s.faultsInjected > 0 || s.retryAttempts > 0 ||
+                      s.programFailures > 0;
+    if (any_faults) {
+        row("Faults injected", [](const RunStats &s) {
+            return std::to_string(s.faultsInjected);
+        });
+        row("- Retries", [](const RunStats &s) {
+            return std::to_string(s.retryAttempts);
+        });
+        row("- Quarantined", [](const RunStats &s) {
+            return std::to_string(s.quarantined);
+        });
+        row("- Failed tasks", [](const RunStats &s) {
+            return std::to_string(s.programFailures);
+        });
+        row("- Degraded", [](const RunStats &s) {
+            return std::to_string(s.degraded);
+        });
+        row("- Dropped db writes", [](const RunStats &s) {
+            return std::to_string(s.dbWriteDrops);
+        });
+    }
     return t;
+}
+
+std::string
+renderResilienceSummary(const RunStats &stats)
+{
+    std::string out;
+    out += "faults injected: " + std::to_string(stats.faultsInjected) +
+           ", retries: " + std::to_string(stats.retryAttempts) +
+           ", degraded outcomes: " + std::to_string(stats.degraded) +
+           ", dropped db writes: " +
+           std::to_string(stats.dbWriteDrops) + "\n";
+    if (!stats.quarantinedPrograms.empty()) {
+        out += "quarantined programs (" +
+               std::to_string(stats.quarantinedPrograms.size()) + "):";
+        for (const std::string &name : stats.quarantinedPrograms)
+            out += " " + name;
+        out += "\n";
+    }
+    if (!stats.failedPrograms.empty()) {
+        out += "failed program tasks (" +
+               std::to_string(stats.failedPrograms.size()) + "):";
+        for (const std::string &name : stats.failedPrograms)
+            out += " " + name;
+        out += "\n";
+    }
+    return out;
 }
 
 TextTable

@@ -37,6 +37,14 @@ TextTable renderCampaignTable(const std::vector<ColumnMeta> &metas,
 TextTable renderChecklist(const RunStats &baseline,
                           const RunStats &refined);
 
+/**
+ * Render a plain-text resilience summary of one campaign: injected
+ * faults, retries, degraded outcomes, and the quarantined / failed
+ * programs by name — campaigns under a fault plan complete with this
+ * report instead of aborting.  Empty sections are omitted.
+ */
+std::string renderResilienceSummary(const RunStats &stats);
+
 } // namespace scamv::core
 
 #endif // SCAMV_CORE_REPORT_HH

@@ -1,5 +1,6 @@
 #include "harness/platform.hh"
 
+#include "support/faults.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -79,6 +80,19 @@ Platform::measure(hw::Core &core, const bir::Program &program,
         core.cache().access(addr);
     }
 
+    // Injected measurement flake: a stray access indistinguishable
+    // from system interference, forced by the fault plan rather than
+    // drawn from the noise probability.
+    if (faults::maybeInject(faults::Site::HwFlake)) {
+        const std::uint64_t set =
+            cfg.visibleLoSet +
+            noiseRng.below(cfg.visibleHiSet - cfg.visibleLoSet + 1);
+        const std::uint64_t tag = 0x6eefULL + noiseRng.below(16);
+        const std::uint64_t addr =
+            (tag << (shift + set_bits)) | (set << shift);
+        core.cache().access(addr);
+    }
+
     Measurement m;
     if (cfg.channel == Channel::TlbSnapshot) {
         m.tlb = core.tlb().snapshot();
@@ -124,8 +138,10 @@ Platform::runExperiment(const bir::Program &program, const TestCase &tc,
              static_cast<std::uint64_t>(cfg.trainingRuns));
     ExperimentResult result;
     result.totalReps = cfg.repeats;
+    int clean_differing = 0;
 
     for (int rep = 0; rep < cfg.repeats; ++rep) {
+        const std::uint64_t faults_before = faults::injectedCount();
         hw::Core core(cfg.core, cfg.boardSeed);
         core.predictor().reset();
 
@@ -147,16 +163,34 @@ Platform::runExperiment(const bir::Program &program, const TestCase &tc,
 
         const Measurement m1 = measure(core, program, tc.s1);
         const Measurement m2 = measure(core, program, tc.s2);
-        if (!(m1 == m2))
+        const bool flaked = faults::injectedCount() != faults_before;
+        if (flaked)
+            ++result.flakedReps;
+        if (!(m1 == m2)) {
             ++result.differingReps;
+            if (!flaked)
+                ++clean_differing;
+        }
     }
 
-    if (result.differingReps == 0)
-        result.verdict = Verdict::Indistinguishable;
-    else if (result.differingReps == result.totalReps)
-        result.verdict = Verdict::Counterexample;
-    else
-        result.verdict = Verdict::Inconclusive;
+    if (result.flakedReps == 0) {
+        if (result.differingReps == 0)
+            result.verdict = Verdict::Indistinguishable;
+        else if (result.differingReps == result.totalReps)
+            result.verdict = Verdict::Counterexample;
+        else
+            result.verdict = Verdict::Inconclusive;
+    } else {
+        // Flaked repetitions carry injected measurement noise, so they
+        // can never certify agreement: the experiment is at best
+        // inconclusive, and remains a counterexample only when every
+        // clean repetition still distinguishes the two states.
+        const int clean = result.totalReps - result.flakedReps;
+        if (clean > 0 && clean_differing == clean)
+            result.verdict = Verdict::Counterexample;
+        else
+            result.verdict = Verdict::Inconclusive;
+    }
     return result;
 }
 

@@ -104,6 +104,8 @@ struct ExperimentResult {
     /** Repetitions in which the two snapshots differed. */
     int differingReps = 0;
     int totalReps = 0;
+    /** Repetitions polluted by an injected measurement fault. */
+    int flakedReps = 0;
 };
 
 /** The experiment executor. */

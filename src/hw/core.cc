@@ -1,5 +1,6 @@
 #include "hw/core.hh"
 
+#include "support/faults.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -249,7 +250,12 @@ Core::timedLoad(std::uint64_t addr)
     metrics::current()
         .counter(hit ? "hw.probe.hits" : "hw.probe.misses")
         .inc();
-    return hit ? cfg.hitLatency : cfg.missLatency;
+    std::uint64_t latency = hit ? cfg.hitLatency : cfg.missLatency;
+    // Injected probe jitter: a DRAM-refresh-style latency spike on
+    // top of whatever the cache state dictates.
+    if (faults::maybeInject(faults::Site::HwProbeJitter))
+        latency += cfg.missLatency;
+    return latency;
 }
 
 } // namespace scamv::hw

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/faults.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -426,6 +427,10 @@ Solver::solveAssuming(const std::vector<Lit> &assumptions,
     metrics::current().counter("sat.solve_calls").inc();
     if (!okay)
         return Result::Unsat;
+    // Injected conflict-budget exhaustion: answer Unknown without
+    // searching, exactly as a timed-out query would.
+    if (faults::maybeInject(faults::Site::SatTimeout))
+        return Result::Unknown;
     const std::uint64_t conflicts0 = nConflicts;
     const std::uint64_t decisions0 = nDecisions;
     const std::uint64_t propagations0 = nPropagations;

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "support/faults.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -290,6 +291,13 @@ RepairSampler::sample()
     metrics::Registry &reg = metrics::current();
     reg.counter("smt.sampler.calls").inc();
     const double t0 = reg.now();
+    // Injected budget exhaustion: give up immediately, exactly as a
+    // sampler that burned through its restarts would.
+    if (faults::maybeInject(faults::Site::SamplerExhaust)) {
+        reg.counter("smt.sampler.failures").inc();
+        reg.histogram("smt.sampler.seconds").observe(reg.now() - t0);
+        return std::nullopt;
+    }
     Assignment a;
     for (int restart = 0; restart < config.maxRestarts; ++restart) {
         if (restart > 0)

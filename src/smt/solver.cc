@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "support/faults.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -187,6 +188,9 @@ Outcome
 SmtSolver::solve(std::int64_t conflict_budget)
 {
     const double t0 = metrics::current().now();
+    // Injected solver timeout: report Unknown without searching.
+    if (faults::maybeInject(faults::Site::SmtUnknown))
+        return recordQuery(Outcome::Unknown, t0);
     switch (sat.solve(conflict_budget)) {
       case sat::Result::Sat: return recordQuery(Outcome::Sat, t0);
       case sat::Result::Unsat: return recordQuery(Outcome::Unsat, t0);
@@ -201,6 +205,9 @@ SmtSolver::solveWith(Expr temporary, std::int64_t conflict_budget)
     SCAMV_ASSERT(temporary->sort == expr::Sort::Bool,
                  "solveWith: non-boolean constraint");
     const double t0 = metrics::current().now();
+    // Injected solver timeout: report Unknown without searching.
+    if (faults::maybeInject(faults::Site::SmtUnknown))
+        return recordQuery(Outcome::Unknown, t0);
     const sat::Lit l = blaster.boolLit(lowerAndAckermannize(temporary));
     switch (sat.solveAssuming({l}, conflict_budget)) {
       case sat::Result::Sat: return recordQuery(Outcome::Sat, t0);

@@ -1,5 +1,6 @@
 #include "support/env.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <string>
@@ -30,10 +31,31 @@ envDouble(const char *name)
     if (!env)
         return std::nullopt;
     char *end = nullptr;
+    errno = 0;
     const double v = std::strtod(env, &end);
-    if (!consumedWhole(env, end) || !std::isfinite(v)) {
+    if (!consumedWhole(env, end)) {
         warn(std::string(name) + "='" + env +
              "' is not a number; using the default");
+        return std::nullopt;
+    }
+    if (errno == ERANGE || !std::isfinite(v)) {
+        warn(std::string(name) + "='" + env +
+             "' is out of range; using the default");
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::optional<double>
+envDouble(const char *name, double lo, double hi)
+{
+    const auto v = envDouble(name);
+    if (!v)
+        return std::nullopt;
+    if (*v < lo || *v > hi) {
+        warn(std::string(name) + "=" + std::to_string(*v) +
+             " is outside [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "]; using the default");
         return std::nullopt;
     }
     return v;
@@ -46,10 +68,31 @@ envLong(const char *name)
     if (!env)
         return std::nullopt;
     char *end = nullptr;
+    errno = 0;
     const long v = std::strtol(env, &end, 10);
     if (!consumedWhole(env, end)) {
         warn(std::string(name) + "='" + env +
              "' is not an integer; using the default");
+        return std::nullopt;
+    }
+    if (errno == ERANGE) {
+        warn(std::string(name) + "='" + env +
+             "' is out of range; using the default");
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::optional<long>
+envLong(const char *name, long lo, long hi)
+{
+    const auto v = envLong(name);
+    if (!v)
+        return std::nullopt;
+    if (*v < lo || *v > hi) {
+        warn(std::string(name) + "=" + std::to_string(*v) +
+             " is outside [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "]; using the default");
         return std::nullopt;
     }
     return v;

@@ -8,11 +8,8 @@ namespace scamv {
 unsigned
 ThreadPool::defaultThreadCount()
 {
-    if (auto env = envLong("SCAMV_THREADS")) {
-        if (*env >= 1)
-            return static_cast<unsigned>(*env);
-        warn("SCAMV_THREADS must be >= 1; using hardware concurrency");
-    }
+    if (auto env = envLong("SCAMV_THREADS", 1, 4096))
+        return static_cast<unsigned>(*env);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

@@ -20,10 +20,13 @@
 #include "bir/transform.hh"
 #include "expr/eval.hh"
 #include "gen/templates.hh"
+#include "harness/platform.hh"
 #include "hw/core.hh"
 #include "obs/models.hh"
 #include "rel/relation.hh"
 #include "smt/solver.hh"
+#include "support/faults.hh"
+#include "support/metrics.hh"
 #include "support/rng.hh"
 #include "sym/symexec.hh"
 
@@ -223,6 +226,76 @@ TEST_P(CrossVal, SolverModelsSatisfyRelationsConcretely)
                 << p.toString();
         }
     }
+}
+
+TEST_P(CrossVal, InjectedFlakesOnlyDegradeVerdicts)
+{
+    // Verdict-safety property under injected measurement noise: a
+    // flaky experiment may become *inconclusive*, but injection must
+    // never flip a counterexample to an "indistinguishable" pass nor
+    // manufacture a counterexample out of agreeing states.
+    gen::ProgramGenerator g(GetParam(), 505);
+    Rng rng(1234);
+    metrics::Registry reg(metrics::ClockMode::Deterministic);
+    metrics::ScopedRegistry reg_scope(reg);
+
+    faults::FaultPlan plan;
+    plan.rate = 0.3;
+    plan.mask = 1u << static_cast<int>(faults::Site::HwFlake);
+
+    int flaky_experiments = 0;
+    for (int i = 0; i < 15; ++i) {
+        expr::ExprContext ctx;
+        bir::Program p = g.next();
+        auto annot = obs::makeModel(obs::ModelKind::Mct);
+        auto paths = sym::execute(ctx, p, *annot, {"_1"});
+        expr::Assignment a = makeInput(rng, paths);
+
+        harness::TestCase identical;
+        identical.s1 = harness::inputFromAssignment(a, "_1");
+        identical.s2 = identical.s1;
+        harness::TestCase differing = identical;
+        differing.s2.regs.regs[1] ^= 0x40; // cross a cache line
+
+        for (const harness::TestCase &tc : {identical, differing}) {
+            harness::Platform clean_platform(harness::PlatformConfig{},
+                                             999);
+            const harness::ExperimentResult clean =
+                clean_platform.runExperiment(p, tc);
+            ASSERT_EQ(clean.flakedReps, 0);
+            if (tc.s1.regs.regs == tc.s2.regs.regs)
+                ASSERT_EQ(clean.verdict,
+                          harness::Verdict::Indistinguishable);
+
+            harness::Platform flaky_platform(harness::PlatformConfig{},
+                                             999);
+            faults::Injector injector(plan, 42, i);
+            faults::ScopedInjector inj_scope(injector);
+            const harness::ExperimentResult flaky =
+                flaky_platform.runExperiment(p, tc);
+
+            if (flaky.flakedReps == 0) {
+                // No injection landed: the verdict is untouched.
+                EXPECT_EQ(flaky.verdict, clean.verdict);
+                continue;
+            }
+            ++flaky_experiments;
+            // Flaked repetitions can never certify agreement...
+            EXPECT_NE(flaky.verdict,
+                      harness::Verdict::Indistinguishable);
+            // ...nor fabricate a distinguishing experiment.
+            if (clean.verdict == harness::Verdict::Indistinguishable)
+                EXPECT_EQ(flaky.verdict,
+                          harness::Verdict::Inconclusive);
+            // A clean counterexample survives at least as
+            // inconclusive — it is never flipped to a pass.
+            if (clean.verdict == harness::Verdict::Counterexample)
+                EXPECT_NE(flaky.verdict,
+                          harness::Verdict::Indistinguishable);
+        }
+    }
+    // The property must not pass vacuously.
+    EXPECT_GT(flaky_experiments, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Fault-matrix suite for the deterministic fault-injection layer
+ * (support/faults.hh) and the pipeline's resilience machinery: every
+ * instrumented stage crossed with its fault class, plus the campaign
+ * invariants — completion under faults, exact fault accounting, and
+ * byte-identical replay at 1 and N threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/expdb.hh"
+#include "core/pipeline.hh"
+#include "core/report.hh"
+#include "support/env.hh"
+#include "support/faults.hh"
+#include "support/metrics.hh"
+
+namespace scamv::core {
+namespace {
+
+/** Iteration scale (see tests/test_solver_fuzz.cc and the CI
+ *  nightly-stress job): campaign sizes multiply by SCAMV_FUZZ_ITERS. */
+int
+iterScale()
+{
+    return static_cast<int>(envLong("SCAMV_FUZZ_ITERS", 1, 1000)
+                                .value_or(1));
+}
+
+/** Campaign configuration exercising every stage of the pipeline. */
+PipelineConfig
+faultBaseConfig()
+{
+    PipelineConfig cfg;
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    cfg.programs = 8;
+    cfg.testsPerProgram = 6 * iterScale();
+    cfg.seed = 42;
+    cfg.deterministicMetricsTiming = true;
+    cfg.retryMax = 2;
+    return cfg;
+}
+
+/** A plan firing only `site` with the given probability. */
+faults::FaultPlan
+planFor(faults::Site site, double rate)
+{
+    faults::FaultPlan plan;
+    plan.rate = rate;
+    plan.mask = 1u << static_cast<int>(site);
+    return plan;
+}
+
+/** faults.injected must equal the sum of its per-site breakdown. */
+void
+expectFaultAccounting(const RunStats &stats)
+{
+    std::uint64_t per_site = 0;
+    for (const auto &[name, value] : stats.metrics.counters)
+        if (name.rfind("faults.injected.", 0) == 0)
+            per_site += value;
+    auto total = stats.metrics.counters.find("faults.injected");
+    EXPECT_EQ(total == stats.metrics.counters.end() ? 0 : total->second,
+              per_site);
+    EXPECT_EQ(stats.faultsInjected,
+              static_cast<std::int64_t>(per_site));
+}
+
+/**
+ * Run `cfg` at 1 and 4 threads and check the resilience invariants:
+ * the campaign completes, fault accounting is exact, and the merged
+ * metrics JSON is byte-identical across thread counts.
+ * @return the single-threaded stats for site-specific assertions.
+ */
+RunStats
+runMatrixCase(PipelineConfig cfg)
+{
+    ExperimentDb db_serial, db_parallel;
+    PipelineConfig serial = cfg;
+    serial.threads = 1;
+    serial.database = &db_serial;
+    PipelineConfig parallel = cfg;
+    parallel.threads = 4;
+    parallel.database = &db_parallel;
+
+    const RunStats s = Pipeline(serial).run();
+    const RunStats p = Pipeline(parallel).run();
+
+    // Graceful completion: every program is accounted for even when
+    // some were quarantined or died.
+    EXPECT_EQ(s.programs, cfg.programs);
+    EXPECT_EQ(p.programs, cfg.programs);
+    expectFaultAccounting(s);
+    expectFaultAccounting(p);
+    EXPECT_EQ(metrics::toJson(s.metrics), metrics::toJson(p.metrics));
+    EXPECT_EQ(s.quarantinedPrograms, p.quarantinedPrograms);
+    EXPECT_EQ(s.failedPrograms, p.failedPrograms);
+    EXPECT_EQ(db_serial.size(), db_parallel.size());
+    // Every experiment either reached the log or was counted dropped.
+    EXPECT_EQ(static_cast<std::int64_t>(db_serial.size()) +
+                  s.dbWriteDrops,
+              s.experiments);
+    return s;
+}
+
+// ---- Injector unit behaviour --------------------------------------
+
+TEST(FaultInjector, DecisionsAreDeterministic)
+{
+    const faults::FaultPlan plan = planFor(faults::Site::SmtUnknown,
+                                           0.5);
+    faults::Injector a(plan, 42, 3);
+    faults::Injector b(plan, 42, 3);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.fire(faults::Site::SmtUnknown),
+                  b.fire(faults::Site::SmtUnknown));
+    EXPECT_EQ(a.injectedCount(), b.injectedCount());
+    EXPECT_GT(a.injectedCount(), 0u);
+    EXPECT_LT(a.injectedCount(), 200u);
+}
+
+TEST(FaultInjector, DecisionsDependOnCampaignCoordinates)
+{
+    const faults::FaultPlan plan = planFor(faults::Site::SatTimeout,
+                                           0.5);
+    auto decisions = [&](std::uint64_t seed, int prog) {
+        faults::Injector inj(plan, seed, prog);
+        std::uint64_t bits = 0;
+        for (int i = 0; i < 64; ++i)
+            bits = bits << 1 | inj.fire(faults::Site::SatTimeout);
+        return bits;
+    };
+    EXPECT_NE(decisions(42, 0), decisions(42, 1));
+    EXPECT_NE(decisions(42, 0), decisions(43, 0));
+    EXPECT_EQ(decisions(42, 0), decisions(42, 0));
+}
+
+TEST(FaultInjector, RateOneAlwaysFiresAndRateZeroNever)
+{
+    faults::Injector always(planFor(faults::Site::HwFlake, 1.0), 1, 0);
+    faults::Injector never(planFor(faults::Site::HwFlake, 0.0), 1, 0);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(always.fire(faults::Site::HwFlake));
+        EXPECT_FALSE(never.fire(faults::Site::HwFlake));
+    }
+}
+
+TEST(FaultInjector, MaskGatesSites)
+{
+    faults::Injector inj(planFor(faults::Site::DbWrite, 1.0), 1, 0);
+    EXPECT_FALSE(inj.fire(faults::Site::SmtUnknown));
+    EXPECT_TRUE(inj.fire(faults::Site::DbWrite));
+}
+
+TEST(FaultInjector, FiresAreCountedInCurrentRegistry)
+{
+    metrics::Registry reg(metrics::ClockMode::Deterministic);
+    metrics::ScopedRegistry scope(reg);
+    faults::FaultPlan plan;
+    plan.rate = 1.0;
+    plan.mask = faults::FaultPlan::maskAll();
+    faults::Injector inj(plan, 7, 0);
+    faults::ScopedInjector inj_scope(inj);
+    EXPECT_TRUE(faults::maybeInject(faults::Site::SatTimeout));
+    EXPECT_TRUE(faults::maybeInject(faults::Site::DbWrite));
+    EXPECT_TRUE(faults::maybeInject(faults::Site::DbWrite));
+    EXPECT_EQ(faults::injectedCount(), 3u);
+    const metrics::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.at("faults.injected"), 3u);
+    EXPECT_EQ(snap.counters.at("faults.injected.sat_timeout"), 1u);
+    EXPECT_EQ(snap.counters.at("faults.injected.db_write"), 2u);
+}
+
+TEST(FaultInjector, NoInjectorMeansNoInjection)
+{
+    EXPECT_EQ(faults::current(), nullptr);
+    EXPECT_FALSE(faults::maybeInject(faults::Site::SmtUnknown));
+    EXPECT_EQ(faults::injectedCount(), 0u);
+}
+
+TEST(FaultInjector, SiteNamesRoundTrip)
+{
+    for (int i = 0; i < faults::kSiteCount; ++i) {
+        const auto site = static_cast<faults::Site>(i);
+        const auto back = faults::siteFromName(faults::siteName(site));
+        ASSERT_TRUE(back.has_value()) << faults::siteName(site);
+        EXPECT_EQ(static_cast<int>(*back), i);
+    }
+    EXPECT_FALSE(faults::siteFromName("bogus").has_value());
+}
+
+// ---- Plan-from-environment parsing --------------------------------
+
+TEST(FaultPlan, FromEnvDisabledByDefault)
+{
+    unsetenv("SCAMV_FAULT_RATE");
+    unsetenv("SCAMV_FAULT_PLAN");
+    EXPECT_FALSE(faults::FaultPlan::fromEnv().enabled());
+}
+
+TEST(FaultPlan, FromEnvSelectsSites)
+{
+    setenv("SCAMV_FAULT_RATE", "0.25", 1);
+    setenv("SCAMV_FAULT_PLAN", "smt_unknown,db_write", 1);
+    const faults::FaultPlan plan = faults::FaultPlan::fromEnv();
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_DOUBLE_EQ(plan.rate, 0.25);
+    EXPECT_TRUE(plan.covers(faults::Site::SmtUnknown));
+    EXPECT_TRUE(plan.covers(faults::Site::DbWrite));
+    EXPECT_FALSE(plan.covers(faults::Site::SatTimeout));
+
+    setenv("SCAMV_FAULT_PLAN", "all", 1);
+    EXPECT_EQ(faults::FaultPlan::fromEnv().mask,
+              faults::FaultPlan::maskAll());
+
+    // Unknown names are skipped; a plan with no valid site disables.
+    setenv("SCAMV_FAULT_PLAN", "bogus", 1);
+    EXPECT_FALSE(faults::FaultPlan::fromEnv().enabled());
+
+    // Out-of-range rates are rejected by the validated env layer.
+    setenv("SCAMV_FAULT_PLAN", "all", 1);
+    setenv("SCAMV_FAULT_RATE", "1.5", 1);
+    EXPECT_FALSE(faults::FaultPlan::fromEnv().enabled());
+
+    unsetenv("SCAMV_FAULT_RATE");
+    unsetenv("SCAMV_FAULT_PLAN");
+}
+
+// ---- Stage x fault-class matrix -----------------------------------
+
+TEST(FaultMatrix, SatTimeoutCampaignCompletes)
+{
+    PipelineConfig cfg = faultBaseConfig();
+    cfg.faultPlan = planFor(faults::Site::SatTimeout, 0.3);
+    const RunStats s = runMatrixCase(cfg);
+    EXPECT_GT(s.faultsInjected, 0);
+    EXPECT_GT(s.metrics.counters.count("faults.injected.sat_timeout"),
+              0u);
+}
+
+TEST(FaultMatrix, SmtUnknownCampaignCompletes)
+{
+    PipelineConfig cfg = faultBaseConfig();
+    cfg.faultPlan = planFor(faults::Site::SmtUnknown, 0.3);
+    const RunStats s = runMatrixCase(cfg);
+    EXPECT_GT(s.faultsInjected, 0);
+    // Injected Unknowns are retried with escalating budgets.
+    EXPECT_GT(s.retryAttempts, 0);
+    EXPECT_GT(
+        s.metrics.counters.count("faults.injected.smt_unknown"), 0u);
+}
+
+TEST(FaultMatrix, SamplerExhaustCampaignCompletes)
+{
+    PipelineConfig cfg = faultBaseConfig();
+    cfg.strategy = SolveStrategy::Sampler;
+    cfg.faultPlan = planFor(faults::Site::SamplerExhaust, 0.5);
+    const RunStats s = runMatrixCase(cfg);
+    EXPECT_GT(s.faultsInjected, 0);
+    EXPECT_GT(s.metrics.counters.count(
+                  "faults.injected.sampler_exhaust"),
+              0u);
+}
+
+TEST(FaultMatrix, HwProbeJitterCampaignCompletes)
+{
+    PipelineConfig cfg = faultBaseConfig();
+    cfg.platform.channel = harness::Channel::PrimeProbe;
+    cfg.platform.visibleLoSet = 61;
+    cfg.platform.visibleHiSet = 127;
+    cfg.faultPlan = planFor(faults::Site::HwProbeJitter, 0.05);
+    const RunStats s = runMatrixCase(cfg);
+    EXPECT_GT(s.faultsInjected, 0);
+    EXPECT_GT(
+        s.metrics.counters.count("faults.injected.hw_probe_jitter"),
+        0u);
+}
+
+TEST(FaultMatrix, HwFlakeCampaignCompletes)
+{
+    PipelineConfig cfg = faultBaseConfig();
+    cfg.faultPlan = planFor(faults::Site::HwFlake, 0.2);
+    const RunStats s = runMatrixCase(cfg);
+    EXPECT_GT(s.faultsInjected, 0);
+    // Flaked experiments are accepted in degraded form.
+    EXPECT_GT(s.degraded, 0);
+    EXPECT_GT(s.metrics.counters.count("faults.injected.hw_flake"),
+              0u);
+}
+
+TEST(FaultMatrix, DbWriteFailuresAreRetriedOrDropped)
+{
+    PipelineConfig cfg = faultBaseConfig();
+    cfg.faultPlan = planFor(faults::Site::DbWrite, 0.5);
+    cfg.retryMax = 0; // no retries: every injected failure drops
+    const RunStats s = runMatrixCase(cfg);
+    EXPECT_GT(s.faultsInjected, 0);
+    EXPECT_GT(s.dbWriteDrops, 0);
+
+    // With retries most rejected writes eventually land.
+    PipelineConfig retried = cfg;
+    retried.retryMax = 4;
+    const RunStats r = runMatrixCase(retried);
+    EXPECT_LT(r.dbWriteDrops, s.dbWriteDrops);
+    EXPECT_GT(r.retryAttempts, 0);
+}
+
+TEST(FaultMatrix, TaskAbortIsContainedByTheGuard)
+{
+    PipelineConfig cfg = faultBaseConfig();
+    cfg.faultPlan = planFor(faults::Site::TaskAbort, 0.5);
+    const RunStats s = runMatrixCase(cfg);
+    // Some tasks died, but every program is accounted for and the
+    // dead ones are listed by name instead of killing the campaign.
+    EXPECT_GT(s.programFailures, 0);
+    EXPECT_LT(s.programFailures, cfg.programs);
+    EXPECT_EQ(s.failedPrograms.size(),
+              static_cast<std::size_t>(s.programFailures));
+    EXPECT_EQ(s.programs, cfg.programs);
+    EXPECT_GT(s.experiments, 0); // surviving programs produced data
+}
+
+TEST(FaultMatrix, HighRateQuarantinesPrograms)
+{
+    PipelineConfig cfg = faultBaseConfig();
+    // Solver stages fail almost always: after quarantineAfter
+    // consecutive injected failures the program must be abandoned
+    // (graceful degradation), not ground through all its tests.
+    faults::FaultPlan plan;
+    plan.rate = 0.95;
+    plan.mask = (1u << static_cast<int>(faults::Site::SatTimeout)) |
+                (1u << static_cast<int>(faults::Site::SmtUnknown));
+    cfg.faultPlan = plan;
+    cfg.retryMax = 0;
+    cfg.quarantineAfter = 2;
+    const RunStats s = runMatrixCase(cfg);
+    EXPECT_GT(s.quarantined, 0);
+    EXPECT_EQ(s.quarantinedPrograms.size(),
+              static_cast<std::size_t>(s.quarantined));
+    EXPECT_EQ(s.programs, cfg.programs);
+}
+
+// ---- Campaign-level invariants ------------------------------------
+
+TEST(FaultCampaign, EnvConfiguredCampaignIsThreadCountIdentical)
+{
+    // The ISSUE acceptance scenario: SCAMV_FAULT_RATE=0.2 over all
+    // sites, 8 programs, 1 vs 4 threads, identical merged stats.
+    setenv("SCAMV_FAULT_RATE", "0.2", 1);
+    unsetenv("SCAMV_FAULT_PLAN");
+    PipelineConfig cfg = faultBaseConfig();
+    const RunStats s = runMatrixCase(cfg);
+    EXPECT_GT(s.faultsInjected, 0);
+    unsetenv("SCAMV_FAULT_RATE");
+}
+
+TEST(FaultCampaign, SameSeedReplaysByteIdentically)
+{
+    PipelineConfig cfg = faultBaseConfig();
+    cfg.faultPlan.rate = 0.2;
+    cfg.faultPlan.mask = faults::FaultPlan::maskAll();
+    cfg.threads = 1;
+    const RunStats a = Pipeline(cfg).run();
+    const RunStats b = Pipeline(cfg).run();
+    EXPECT_EQ(metrics::toJson(a.metrics), metrics::toJson(b.metrics));
+    EXPECT_EQ(a.quarantinedPrograms, b.quarantinedPrograms);
+    EXPECT_EQ(a.failedPrograms, b.failedPrograms);
+}
+
+TEST(FaultCampaign, DisabledPlanInjectsNothing)
+{
+    unsetenv("SCAMV_FAULT_RATE");
+    PipelineConfig cfg = faultBaseConfig();
+    cfg.threads = 1;
+    const RunStats s = Pipeline(cfg).run();
+    EXPECT_EQ(s.faultsInjected, 0);
+    EXPECT_EQ(s.retryAttempts, 0);
+    EXPECT_EQ(s.quarantined, 0);
+    EXPECT_EQ(s.programFailures, 0);
+    EXPECT_EQ(s.metrics.counters.count("faults.injected"), 0u);
+    EXPECT_EQ(s.metrics.counters.count("retry.attempts"), 0u);
+}
+
+TEST(FaultCampaign, ResilienceSummaryListsQuarantinedPrograms)
+{
+    RunStats s;
+    s.faultsInjected = 12;
+    s.retryAttempts = 4;
+    s.degraded = 3;
+    s.quarantinedPrograms = {"prog-a", "prog-b"};
+    s.failedPrograms = {"prog-c"};
+    const std::string out = renderResilienceSummary(s);
+    EXPECT_NE(out.find("prog-a"), std::string::npos);
+    EXPECT_NE(out.find("prog-b"), std::string::npos);
+    EXPECT_NE(out.find("prog-c"), std::string::npos);
+    EXPECT_NE(out.find("12"), std::string::npos);
+
+    RunStats clean;
+    EXPECT_EQ(renderResilienceSummary(clean).find("quarantined"),
+              std::string::npos);
+}
+
+TEST(FaultCampaign, CampaignTableShowsResilienceRowsOnlyUnderFaults)
+{
+    RunStats clean;
+    const std::string without =
+        renderCampaignTable({{"Mct", "A", "No", "Mpc"}}, {clean})
+            .render();
+    EXPECT_EQ(without.find("Faults injected"), std::string::npos);
+
+    RunStats faulty;
+    faulty.faultsInjected = 5;
+    faulty.quarantined = 1;
+    const std::string with =
+        renderCampaignTable({{"Mct", "A", "No", "Mpc"}}, {faulty})
+            .render();
+    EXPECT_NE(with.find("Faults injected"), std::string::npos);
+    EXPECT_NE(with.find("Quarantined"), std::string::npos);
+}
+
+} // namespace
+} // namespace scamv::core

@@ -9,6 +9,7 @@
 #include "expr/eval.hh"
 #include "smt/sampler.hh"
 #include "smt/solver.hh"
+#include "support/env.hh"
 #include "support/rng.hh"
 
 namespace scamv::smt {
@@ -16,6 +17,19 @@ namespace {
 
 using expr::Expr;
 using expr::ExprContext;
+
+/**
+ * Iteration scale from the validated SCAMV_FUZZ_ITERS environment
+ * variable (default 1): the CI nightly-stress job multiplies every
+ * fuzz loop by 10x; local debugging can crank it higher.
+ */
+int
+fuzzIters(int base)
+{
+    static const int scale = static_cast<int>(
+        envLong("SCAMV_FUZZ_ITERS", 1, 1000).value_or(1));
+    return base * scale;
+}
 
 /** Random bitvector term over a small variable pool. */
 Expr
@@ -94,7 +108,7 @@ TEST_P(SolverFuzz, EvaluatorWitnessImpliesSat)
 {
     Rng rng(5000 + GetParam());
     ExprContext ctx;
-    for (int i = 0; i < 20; ++i) {
+    for (int i = 0; i < fuzzIters(20); ++i) {
         Expr f = randomBool(ctx, rng, 3);
         // Find a witness by random search; if none found, skip.
         bool witnessed = false;
@@ -111,7 +125,7 @@ TEST_P(SolverFuzz, SatModelsSatisfyFormula)
 {
     Rng rng(6000 + GetParam());
     ExprContext ctx;
-    for (int i = 0; i < 15; ++i) {
+    for (int i = 0; i < fuzzIters(15); ++i) {
         Expr f = randomBool(ctx, rng, 3);
         SmtSolver solver(ctx, f);
         if (solver.solve(50000) != Outcome::Sat)
@@ -125,7 +139,7 @@ TEST_P(SolverFuzz, FormulaAndNegationUnsat)
 {
     Rng rng(7000 + GetParam());
     ExprContext ctx;
-    for (int i = 0; i < 15; ++i) {
+    for (int i = 0; i < fuzzIters(15); ++i) {
         Expr f = randomBool(ctx, rng, 2);
         EXPECT_EQ(checkSat(ctx, ctx.land(f, ctx.lnot(f))),
                   Outcome::Unsat);
@@ -136,7 +150,7 @@ TEST_P(SolverFuzz, SamplerModelsSatisfyFormula)
 {
     Rng rng(8000 + GetParam());
     ExprContext ctx;
-    for (int i = 0; i < 15; ++i) {
+    for (int i = 0; i < fuzzIters(15); ++i) {
         Expr f = randomBool(ctx, rng, 3);
         SamplerConfig cfg;
         cfg.maxIters = 300;
@@ -158,7 +172,7 @@ TEST_P(SolverFuzz, SamplerAndCdclAgreeWithEvaluatorOnBvTerms)
     // assignment; must be Sat.
     Rng rng(9000 + GetParam());
     ExprContext ctx;
-    for (int i = 0; i < 10; ++i) {
+    for (int i = 0; i < fuzzIters(10); ++i) {
         Expr t = randomBv(ctx, rng, 3);
         expr::Assignment a = randomAssignment(rng);
         const std::uint64_t want = expr::evalBv(t, a);

@@ -1,10 +1,13 @@
-/** @file Unit tests for the support library (rng, tables, stats). */
+/** @file Unit tests for the support library (rng, tables, stats,
+ * validated environment parsing). */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
+#include "support/env.hh"
 #include "support/rng.hh"
 #include "support/stopwatch.hh"
 #include "support/table.hh"
@@ -170,6 +173,83 @@ TEST(Format, FmtRatioHandlesZeroDenominator)
 {
     EXPECT_EQ(fmtRatio(10.0, 0.0), "-");
     EXPECT_EQ(fmtRatio(10.0, 5.0), "2.0x");
+}
+
+TEST(Env, UnsetVariableIsNullopt)
+{
+    unsetenv("SCAMV_TEST_ENV");
+    EXPECT_FALSE(envLong("SCAMV_TEST_ENV").has_value());
+    EXPECT_FALSE(envDouble("SCAMV_TEST_ENV").has_value());
+}
+
+TEST(Env, ParsesWellFormedValues)
+{
+    setenv("SCAMV_TEST_ENV", "42", 1);
+    EXPECT_EQ(envLong("SCAMV_TEST_ENV").value(), 42);
+    setenv("SCAMV_TEST_ENV", "-7", 1);
+    EXPECT_EQ(envLong("SCAMV_TEST_ENV").value(), -7);
+    setenv("SCAMV_TEST_ENV", "0.125", 1);
+    EXPECT_DOUBLE_EQ(envDouble("SCAMV_TEST_ENV").value(), 0.125);
+    setenv("SCAMV_TEST_ENV", "1e3", 1);
+    EXPECT_DOUBLE_EQ(envDouble("SCAMV_TEST_ENV").value(), 1000.0);
+    // Trailing whitespace is tolerated (a quoted "4 " in a shell).
+    setenv("SCAMV_TEST_ENV", "4 ", 1);
+    EXPECT_EQ(envLong("SCAMV_TEST_ENV").value(), 4);
+    unsetenv("SCAMV_TEST_ENV");
+}
+
+TEST(Env, RejectsTrailingGarbage)
+{
+    // atoi-style truncation ("4x" -> 4) silently mangles the user's
+    // setting; the validated layer must reject the value instead.
+    setenv("SCAMV_TEST_ENV", "4x", 1);
+    EXPECT_FALSE(envLong("SCAMV_TEST_ENV").has_value());
+    setenv("SCAMV_TEST_ENV", "1.5threads", 1);
+    EXPECT_FALSE(envDouble("SCAMV_TEST_ENV").has_value());
+    setenv("SCAMV_TEST_ENV", "abc", 1);
+    EXPECT_FALSE(envLong("SCAMV_TEST_ENV").has_value());
+    EXPECT_FALSE(envDouble("SCAMV_TEST_ENV").has_value());
+    setenv("SCAMV_TEST_ENV", "", 1);
+    EXPECT_FALSE(envLong("SCAMV_TEST_ENV").has_value());
+    unsetenv("SCAMV_TEST_ENV");
+}
+
+TEST(Env, RejectsOutOfRangeMagnitudes)
+{
+    // strtol saturates to LONG_MAX with ERANGE; saturation is not
+    // what the user asked for, so the value is rejected.
+    setenv("SCAMV_TEST_ENV", "99999999999999999999999999", 1);
+    EXPECT_FALSE(envLong("SCAMV_TEST_ENV").has_value());
+    setenv("SCAMV_TEST_ENV", "1e400", 1);
+    EXPECT_FALSE(envDouble("SCAMV_TEST_ENV").has_value());
+    setenv("SCAMV_TEST_ENV", "inf", 1);
+    EXPECT_FALSE(envDouble("SCAMV_TEST_ENV").has_value());
+    unsetenv("SCAMV_TEST_ENV");
+}
+
+TEST(Env, BoundedOverloadsEnforceRange)
+{
+    setenv("SCAMV_TEST_ENV", "5", 1);
+    EXPECT_EQ(envLong("SCAMV_TEST_ENV", 1, 10).value(), 5);
+    EXPECT_FALSE(envLong("SCAMV_TEST_ENV", 6, 10).has_value());
+    setenv("SCAMV_TEST_ENV", "0.5", 1);
+    EXPECT_DOUBLE_EQ(envDouble("SCAMV_TEST_ENV", 0.0, 1.0).value(),
+                     0.5);
+    EXPECT_FALSE(envDouble("SCAMV_TEST_ENV", 0.6, 1.0).has_value());
+    unsetenv("SCAMV_TEST_ENV");
+}
+
+TEST(Env, WarningsNameTheVariable)
+{
+    // A rejected setting must be traceable to its variable.
+    setenv("SCAMV_TEST_ENV", "4x", 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_FALSE(envLong("SCAMV_TEST_ENV").has_value());
+    const std::string out =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("SCAMV_TEST_ENV"), std::string::npos) << out;
+    EXPECT_NE(out.find("4x"), std::string::npos) << out;
+    unsetenv("SCAMV_TEST_ENV");
 }
 
 } // namespace
