@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Shared bench helper: measure the semantic SMT query cache
+ * (src/support/qcache) on its two hot shapes and emit
+ * `BENCH_qcache.json` (schema "scamv-qcache-v1"):
+ *
+ *  - repeated_query: the pipeline's dominant pattern — structurally
+ *    similar relation formulas solved over and over (Section 5.4's
+ *    per-pair relations re-queried across test cases).  Cache-off
+ *    re-solves each query; cache-on replays it.
+ *
+ *  - warm_campaign: a full campaign run cold (populating a checkpoint
+ *    file) and again resumed from it.  The runs must agree on every
+ *    counter — a warm cache may only change the wall-clock, never the
+ *    results — so the speedup always describes identical work.
+ */
+
+#ifndef SCAMV_BENCH_QCACHE_REPORT_HH
+#define SCAMV_BENCH_QCACHE_REPORT_HH
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bir/transform.hh"
+#include "core/pipeline.hh"
+#include "gen/templates.hh"
+#include "obs/models.hh"
+#include "rel/relation.hh"
+#include "support/metrics.hh"
+#include "support/qcache/cached_solve.hh"
+#include "support/qcache/qcache.hh"
+#include "support/stopwatch.hh"
+#include "sym/symexec.hh"
+
+namespace scamv::benchsupport {
+
+namespace qcache_detail {
+
+inline std::uint64_t
+globalCounter(const char *name)
+{
+    return metrics::Registry::global().counter(name).value();
+}
+
+/** Relation formulas of `programs` template-A programs (one per
+ *  path pair), kept alive through the shared context. */
+inline std::vector<expr::Expr>
+relationFormulas(expr::ExprContext &ctx, int programs)
+{
+    std::vector<expr::Expr> formulas;
+    for (int i = 0; i < programs; ++i) {
+        gen::ProgramGenerator g(gen::TemplateKind::A,
+                                static_cast<std::uint64_t>(7 + i));
+        const bir::Program p = bir::instrumentSpeculation(g.next());
+        obs::RefinementPair annot(obs::makeModel(obs::ModelKind::Mct),
+                                  obs::makeModel(obs::ModelKind::Mspec));
+        auto p1 = sym::execute(ctx, p, annot, {"_1"});
+        auto p2 = sym::execute(ctx, p, annot, {"_2"});
+        rel::RelationConfig cfg;
+        cfg.refine = true;
+        rel::RelationSynthesizer rel(ctx, std::move(p1), std::move(p2),
+                                     cfg);
+        for (const auto &pair : rel.pairs())
+            formulas.push_back(rel.formulaFor(pair));
+    }
+    return formulas;
+}
+
+} // namespace qcache_detail
+
+/**
+ * Run the cache on/off comparison and write `path`.
+ * @return false when a write error or a determinism violation makes
+ * the report unusable (the caller should fail the bench run).
+ */
+inline bool
+writeQcacheReport(const std::string &path = "BENCH_qcache.json")
+{
+    using qcache_detail::globalCounter;
+    constexpr int kPasses = 5;
+    constexpr std::int64_t kBudget = 200000;
+
+    // --- repeated_query -------------------------------------------
+    expr::ExprContext ctx;
+    const std::vector<expr::Expr> formulas =
+        qcache_detail::relationFormulas(ctx, 6);
+    const int queries = static_cast<int>(formulas.size()) * kPasses;
+
+    Stopwatch off_watch;
+    for (int pass = 0; pass < kPasses; ++pass)
+        for (expr::Expr f : formulas)
+            qcache::solveOnce(ctx, f, kBudget, nullptr);
+    const double off_s = off_watch.seconds();
+
+    qcache::QueryCache cache({std::size_t{64} << 20, ""});
+    const std::uint64_t h0 = globalCounter("qcache.hit");
+    const std::uint64_t m0 = globalCounter("qcache.miss");
+    Stopwatch on_watch;
+    for (int pass = 0; pass < kPasses; ++pass)
+        for (expr::Expr f : formulas)
+            qcache::solveOnce(ctx, f, kBudget, &cache);
+    const double on_s = on_watch.seconds();
+    const std::uint64_t hits = globalCounter("qcache.hit") - h0;
+    const std::uint64_t misses = globalCounter("qcache.miss") - m0;
+    const double rq_speedup = on_s > 0 ? off_s / on_s : 0.0;
+
+    std::printf("[qcache] repeated_query: %d queries  off: %.3fs  "
+                "on: %.3fs  speedup: %.2fx  (%llu hits, %llu misses)\n",
+                queries, off_s, on_s, rq_speedup,
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses));
+
+    // --- warm_campaign --------------------------------------------
+    core::PipelineConfig cfg;
+    cfg.templateKind = gen::TemplateKind::A;
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.train = true;
+    cfg.programs = core::scaled(8, core::scaleFromEnv(1.0));
+    cfg.testsPerProgram = 6;
+    cfg.seed = 99;
+    cfg.threads = 1;
+
+    const std::string checkpoint = path + ".checkpoint.tmp";
+    std::remove(checkpoint.c_str());
+
+    core::RunStats cold_stats, warm_stats;
+    double cold_s = 0.0, warm_s = 0.0;
+    {
+        qcache::QueryCache cold({std::size_t{64} << 20, checkpoint});
+        core::PipelineConfig c = cfg;
+        c.queryCache = &cold;
+        Stopwatch watch;
+        cold_stats = core::Pipeline(c).run();
+        cold_s = watch.seconds();
+    }
+    const std::uint64_t wh0 = globalCounter("qcache.hit");
+    {
+        qcache::QueryCache warm({std::size_t{64} << 20, checkpoint});
+        core::PipelineConfig c = cfg;
+        c.queryCache = &warm;
+        Stopwatch watch;
+        warm_stats = core::Pipeline(c).run();
+        warm_s = watch.seconds();
+    }
+    const std::uint64_t warm_hits = globalCounter("qcache.hit") - wh0;
+    std::remove(checkpoint.c_str());
+
+    const bool identical =
+        cold_stats.experiments == warm_stats.experiments &&
+        cold_stats.counterexamples == warm_stats.counterexamples &&
+        cold_stats.inconclusive == warm_stats.inconclusive &&
+        cold_stats.metrics.counters == warm_stats.metrics.counters;
+    const double wc_speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
+
+    std::printf("[qcache] warm_campaign: cold: %.3fs  warm: %.3fs  "
+                "speedup: %.2fx  deterministic: %s\n",
+                cold_s, warm_s, wc_speedup,
+                identical ? "yes" : "NO");
+    if (!identical)
+        return false;
+
+    // --- report ---------------------------------------------------
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    char buf[512];
+    out << "{\n  \"schema\": \"scamv-qcache-v1\",\n"
+        << "  \"benchmark\": \"semantic SMT query cache\",\n"
+        << "  \"components\": {\n";
+    std::snprintf(buf, sizeof buf,
+                  "    \"repeated_query\": {\"queries\": %d, "
+                  "\"cache_off_s\": %.4f, \"cache_on_s\": %.4f, "
+                  "\"speedup\": %.3f, \"hits\": %llu, "
+                  "\"misses\": %llu},\n",
+                  queries, off_s, on_s, rq_speedup,
+                  static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(misses));
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "    \"warm_campaign\": {\"cold_s\": %.4f, "
+                  "\"warm_s\": %.4f, \"speedup\": %.3f, "
+                  "\"hits\": %llu, \"deterministic\": %s}\n",
+                  cold_s, warm_s, wc_speedup,
+                  static_cast<unsigned long long>(warm_hits),
+                  identical ? "true" : "false");
+    out << buf << "  }\n}\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace scamv::benchsupport
+
+#endif // SCAMV_BENCH_QCACHE_REPORT_HH

@@ -26,7 +26,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "== TSan: thread pool + pipeline tests (${TSAN_DIR}) =="
 cmake -B "$TSAN_DIR" -S . "${GENERATOR[@]}" -DSCAMV_ENABLE_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target test_thread_pool test_pipeline test_metrics
+    --target test_thread_pool test_pipeline test_metrics test_qcache
 
 # Force a real multi-thread pool even on single-core CI runners so
 # TSan observes genuine cross-thread interleavings.
@@ -35,6 +35,8 @@ SCAMV_THREADS=4 "$TSAN_DIR"/tests/test_pipeline \
     --gtest_filter='Pipeline.ThreadCount*:Pipeline.Deterministic*'
 SCAMV_THREADS=4 "$TSAN_DIR"/tests/test_metrics \
     --gtest_filter='Metrics.Concurrent*:Metrics.Scoped*:MetricsPipeline.*'
+SCAMV_THREADS=4 "$TSAN_DIR"/tests/test_qcache \
+    --gtest_filter='Campaign.*:Cache.*'
 
 echo "== ASan/UBSan: full test suite (${ASAN_DIR}) =="
 cmake -B "$ASAN_DIR" -S . "${GENERATOR[@]}" -DSCAMV_ENABLE_ASAN=ON

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Validate the JSON artifacts emitted by the bench smoke run.
 
-Two shapes are recognized (auto-detected per file):
+Three shapes are recognized (auto-detected per file):
 
  - ``BENCH_parallel.json`` from bench/parallel_report.hh: campaign
    speedup entries, each of which must be marked deterministic;
+ - ``scamv-qcache-v1`` from bench/qcache_report.hh: query-cache
+   on/off comparison; the repeated-query component must show at
+   least a 1.5x speedup and the warm campaign must be deterministic;
  - ``scamv-metrics-v1`` from src/support/metrics (SCAMV_METRICS):
    counters, gauges and histograms, with internally consistent
    histogram bucket layouts.
@@ -45,6 +48,39 @@ def check_parallel(path, doc):
             fail(path, f"campaign {name!r}: serial/parallel runs "
                        "disagree (deterministic != true)")
     print(f"{path}: OK ({len(campaigns)} campaigns, all deterministic)")
+
+
+def check_qcache(path, doc):
+    components = doc.get("components")
+    if not isinstance(components, dict) or not components:
+        fail(path, "no components recorded")
+    for name, entry in components.items():
+        if not isinstance(entry, dict):
+            fail(path, f"component {name!r} is not an object")
+        for key, value in entry.items():
+            if key == "deterministic":
+                continue
+            if not is_num(value) or value < 0:
+                fail(path, f"component {name!r}: {key!r} is not a "
+                           "non-negative number")
+    rq = components.get("repeated_query")
+    if not isinstance(rq, dict):
+        fail(path, "missing repeated_query component")
+    for key in ("queries", "cache_off_s", "cache_on_s", "speedup",
+                "hits", "misses"):
+        if not is_num(rq.get(key)):
+            fail(path, f"repeated_query: missing numeric {key!r}")
+    if rq["speedup"] < 1.5:
+        fail(path, f"repeated_query: speedup {rq['speedup']} < 1.5 "
+                   "(cache is not paying for itself)")
+    if rq["hits"] < 1:
+        fail(path, "repeated_query: no cache hits recorded")
+    wc = components.get("warm_campaign")
+    if isinstance(wc, dict) and wc.get("deterministic") is not True:
+        fail(path, "warm_campaign: cold/warm runs disagree "
+                   "(deterministic != true)")
+    print(f"{path}: OK (repeated_query speedup "
+          f"{rq['speedup']:.2f}x, {len(components)} components)")
 
 
 def check_metrics(path, doc):
@@ -95,6 +131,8 @@ def check_file(path):
         fail(path, "top level is not an object")
     if doc.get("schema") == "scamv-metrics-v1":
         check_metrics(path, doc)
+    elif doc.get("schema") == "scamv-qcache-v1":
+        check_qcache(path, doc)
     elif "campaigns" in doc:
         check_parallel(path, doc)
     else:

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Verify the README environment-variable reference against the code.
+
+The single source of truth for ``SCAMV_*`` environment variables is
+the "Environment variables" table in ``README.md``.  This script
+fails when the two drift apart:
+
+ - every variable the code actually reads (a quoted ``"SCAMV_..."``
+   string literal in ``src/``) must have a row in the README table;
+ - every row in the README table must correspond to a variable read
+   somewhere in ``src/`` or ``tests/`` (no stale documentation).
+
+Only quoted literals count as usage — prose mentions in comments do
+not — so the check tracks real ``getenv``/``envLong``/``envDouble``
+lookups.  Build-system options (``SCAMV_ENABLE_*`` CMake flags) are
+not environment variables and are ignored.
+
+Exit status is non-zero on any mismatch; run as the CI ``docs-lint``
+step and locally via ``python3 scripts/check_docs.py``.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SOURCE_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp"}
+USE_RE = re.compile(r'"(SCAMV_[A-Z0-9_]+)"')
+ROW_RE = re.compile(r"^\|\s*`(SCAMV_[A-Z0-9_]+)`")
+
+
+def used_vars(*dirs):
+    """Map of variable -> first file using it (quoted literal)."""
+    found = {}
+    for d in dirs:
+        for path in sorted((ROOT / d).rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES:
+                continue
+            for var in USE_RE.findall(path.read_text(encoding="utf-8")):
+                found.setdefault(var, path.relative_to(ROOT))
+    return found
+
+
+def documented_vars(readme):
+    """Map of variable -> line number of its README table row."""
+    found = {}
+    for lineno, line in enumerate(
+            readme.read_text(encoding="utf-8").splitlines(), 1):
+        m = ROW_RE.match(line)
+        if m:
+            found.setdefault(m.group(1), lineno)
+    return found
+
+
+def main():
+    readme = ROOT / "README.md"
+    src_used = used_vars("src")
+    all_used = used_vars("src", "tests")
+    documented = documented_vars(readme)
+
+    errors = []
+    for var in sorted(set(src_used) - set(documented)):
+        errors.append(
+            f"{var} is read by {src_used[var]} but has no row in the "
+            f"README.md environment-variable table")
+    for var in sorted(set(documented) - set(all_used)):
+        errors.append(
+            f"{var} is documented (README.md:{documented[var]}) but no "
+            f"code in src/ or tests/ reads it")
+
+    if errors:
+        for e in errors:
+            print(f"check_docs: {e}", file=sys.stderr)
+        raise SystemExit(1)
+
+    test_only = sorted(set(all_used) - set(src_used) - set(documented))
+    print(f"check_docs: OK — {len(src_used)} variables used in src/, "
+          f"{len(documented)} documented"
+          + (f" ({', '.join(test_only)} test-internal, undocumented "
+             "by design)" if test_only else ""))
+
+
+if __name__ == "__main__":
+    main()

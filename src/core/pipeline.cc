@@ -20,6 +20,8 @@
 #include "support/faults.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/qcache/cached_solve.hh"
+#include "support/qcache/qcache.hh"
 #include "support/stopwatch.hh"
 #include "support/thread_pool.hh"
 
@@ -137,9 +139,13 @@ symmetrizeModel(Expr formula, const bir::Program &program,
 
 namespace {
 
-/** Per-program solving state: one incremental solver per path pair. */
-struct PairSolvers {
-    std::vector<std::unique_ptr<smt::SmtSolver>> solvers;
+/**
+ * Per-program solving state: one (possibly cache-backed) incremental
+ * enumerator per path pair.  `dead` marks exhausted pairs — either
+ * model blocking ran dry or the relation went Unsat/Unknown.
+ */
+struct PairEnumerators {
+    std::vector<std::unique_ptr<qcache::CachedEnumerator>> enums;
     std::vector<bool> dead;
 };
 
@@ -309,8 +315,18 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
         return out;
     }
 
-    PairSolvers per_pair;
-    per_pair.solvers.resize(pairs.size());
+    // Query cache: the enumerated (Canonical/Pc) path threads every
+    // solve through it; other strategies keep their incremental
+    // solver access but still cache the one-shot fallback/training
+    // queries.  With qc == nullptr every wrapper below degrades to
+    // the exact pre-cache call sequence.
+    qcache::QueryCache *qc = cfg.queryCache;
+    const bool use_enum_cache =
+        qc && cfg.strategy == SolveStrategy::Canonical &&
+        cfg.coverage == Coverage::Pc;
+
+    PairEnumerators per_pair;
+    per_pair.enums.resize(pairs.size());
     per_pair.dead.assign(pairs.size(), false);
 
     // Relation formulas, synthesized once per path pair: the formula
@@ -342,9 +358,10 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
             ctx, training_paths, relation->paths1()[pair.idx1],
             rel_cfg);
         if (formula) {
-            smt::SmtSolver ts(ctx, *formula);
-            if (ts.solve(cfg.conflictBudget) == smt::Outcome::Sat)
-                input = harness::inputFromAssignment(ts.model(),
+            auto solved = qcache::solveOnce(ctx, *formula,
+                                            cfg.conflictBudget, qc);
+            if (solved.outcome == smt::Outcome::Sat)
+                input = harness::inputFromAssignment(*solved.model,
                                                      "_t");
         }
         training_cache.emplace(pair.idx1, input);
@@ -401,20 +418,29 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
                 model = sampler.sample();
                 if (!model) {
                     // Fall back to the complete solver.
-                    smt::SmtSolver fallback(ctx, f);
-                    if (fallback.solve(budget) == smt::Outcome::Sat)
-                        model = fallback.model();
+                    auto solved =
+                        qcache::solveOnce(ctx, f, budget, qc);
+                    if (solved.outcome == smt::Outcome::Sat)
+                        model = std::move(solved.model);
                     else
                         retire_pair = true;
                 }
             } else {
-                auto &solver = per_pair.solvers[pair_idx];
-                if (!solver) {
-                    solver = std::make_unique<smt::SmtSolver>(
-                        ctx, pair_formula);
+                auto &en = per_pair.enums[pair_idx];
+                if (!en) {
+                    // Blocking variables are fixed at construction on
+                    // the cached path (they parameterize the cache's
+                    // enumeration chain); the uncached path computes
+                    // them at blocking time, as it always did.
+                    en = std::make_unique<qcache::CachedEnumerator>(
+                        ctx, pair_formula,
+                        use_enum_cache ? blockingVars(ctx, program)
+                                       : std::vector<Expr>{},
+                        cfg.blockingBits,
+                        use_enum_cache ? qc : nullptr);
                 }
                 if (cfg.strategy == SolveStrategy::RandomPhases)
-                    solver->randomizePhases(rng);
+                    en->solver().randomizePhases(rng);
 
                 smt::Outcome outcome = smt::Outcome::Unsat;
                 if (cfg.coverage == Coverage::PcAndLine) {
@@ -430,21 +456,33 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
                             relation->lineCoverageConstraint(pair,
                                                              rng);
                         outcome =
-                            cov ? solver->solveWith(*cov, budget)
-                                : solver->solve(budget);
+                            cov ? en->solver().solveWith(*cov, budget)
+                                : en->solver().solve(budget);
                         if (!cov)
                             break;
                     }
+                } else if (en->usesCache()) {
+                    // Cached enumeration step: solve + model + block
+                    // in one cacheable unit.
+                    auto step = en->next(budget);
+                    outcome = step.outcome;
+                    if (outcome == smt::Outcome::Sat) {
+                        model = std::move(step.model);
+                        if (en->dead())
+                            per_pair.dead[pair_idx] = true;
+                    }
                 } else {
-                    outcome = solver->solve(budget);
+                    outcome = en->solver().solve(budget);
                 }
 
                 if (outcome == smt::Outcome::Sat) {
-                    model = solver->model();
-                    if (!solver->blockCurrentModel(
-                            blockingVars(ctx, program),
-                            cfg.blockingBits))
-                        per_pair.dead[pair_idx] = true;
+                    if (!en->usesCache()) {
+                        model = en->solver().model();
+                        if (!en->solver().blockCurrentModel(
+                                blockingVars(ctx, program),
+                                cfg.blockingBits))
+                            per_pair.dead[pair_idx] = true;
+                    }
                 } else if (cfg.coverage != Coverage::PcAndLine ||
                            outcome == smt::Outcome::Unknown) {
                     // Without per-test coverage constraints an Unsat
@@ -643,6 +681,21 @@ Pipeline::run()
     if (cfg.retryMax < 0)
         cfg.retryMax = static_cast<int>(
             envLong("SCAMV_RETRY_MAX", 0, 64).value_or(2));
+
+    // Query cache: an explicitly configured cache wins, otherwise the
+    // environment-configured shared cache (SCAMV_QCACHE_MB /
+    // SCAMV_QCACHE_FILE).  Fault-injection campaigns bypass the cache
+    // entirely: injected-fault decisions are keyed to per-site attempt
+    // counters, and skipping solver work on hits would change which
+    // attempts exist — byte-identical fault replay beats cache wins.
+    if (!cfg.queryCache)
+        cfg.queryCache = qcache::QueryCache::sharedFromEnv();
+    if (cfg.queryCache && cfg.faultPlan.enabled()) {
+        metrics::Registry::global()
+            .counter("qcache.bypass_faults")
+            .inc();
+        cfg.queryCache = nullptr;
+    }
 
     const bool instrument = needsSpecInstrumentation(cfg);
     const int n_threads = resolveThreads(cfg.threads);

@@ -57,6 +57,10 @@
 #include "support/faults.hh"
 #include "support/metrics.hh"
 
+namespace scamv::qcache {
+class QueryCache;
+}
+
 namespace scamv::core {
 
 class ExperimentDb;
@@ -140,6 +144,21 @@ struct PipelineConfig {
      * Not owned; must outlive the pipeline run.
      */
     ExperimentDb *database = nullptr;
+
+    /**
+     * Semantic SMT query cache (support/qcache).  When unset, run()
+     * consults SCAMV_QCACHE_MB / SCAMV_QCACHE_FILE via
+     * qcache::QueryCache::sharedFromEnv(); both unset leaves solving
+     * uncached — the byte-exact pre-cache behaviour.  Hits replay the
+     * original solve exactly (outcome, model, metric delta), so
+     * campaign results are identical with a cold, warm or absent
+     * cache; with a persistence file the cache doubles as a
+     * checkpoint for interrupted campaigns.  Ignored (with a global
+     * `qcache.bypass_faults` count) whenever the resolved fault plan
+     * is enabled, keeping fault-injection campaigns byte-identical.
+     * Not owned; must outlive the pipeline run.
+     */
+    qcache::QueryCache *queryCache = nullptr;
 
     /**
      * Fault-injection plan (see support/faults.hh).  Disabled by

@@ -165,11 +165,8 @@ SmtSolver::require(Expr constraint)
     blaster.assertTrue(lowerAndAckermannize(constraint));
 }
 
-namespace {
-
-/** Tally one query and its outcome into the current registry. */
 Outcome
-recordQuery(Outcome outcome, double start_time)
+tallyQuery(Outcome outcome, double start_time)
 {
     metrics::Registry &reg = metrics::current();
     reg.histogram("smt.solve_seconds").observe(reg.now() - start_time);
@@ -182,21 +179,31 @@ recordQuery(Outcome outcome, double start_time)
     return outcome;
 }
 
-} // namespace
-
 Outcome
 SmtSolver::solve(std::int64_t conflict_budget)
 {
     const double t0 = metrics::current().now();
     // Injected solver timeout: report Unknown without searching.
     if (faults::maybeInject(faults::Site::SmtUnknown))
-        return recordQuery(Outcome::Unknown, t0);
+        return tallyQuery(Outcome::Unknown, t0);
     switch (sat.solve(conflict_budget)) {
-      case sat::Result::Sat: return recordQuery(Outcome::Sat, t0);
-      case sat::Result::Unsat: return recordQuery(Outcome::Unsat, t0);
-      case sat::Result::Unknown: return recordQuery(Outcome::Unknown, t0);
+      case sat::Result::Sat: return tallyQuery(Outcome::Sat, t0);
+      case sat::Result::Unsat: return tallyQuery(Outcome::Unsat, t0);
+      case sat::Result::Unknown: return tallyQuery(Outcome::Unknown, t0);
     }
-    return recordQuery(Outcome::Unknown, t0);
+    return tallyQuery(Outcome::Unknown, t0);
+}
+
+Outcome
+SmtSolver::solveNoInject(std::int64_t conflict_budget)
+{
+    const double t0 = metrics::current().now();
+    switch (sat.solve(conflict_budget)) {
+      case sat::Result::Sat: return tallyQuery(Outcome::Sat, t0);
+      case sat::Result::Unsat: return tallyQuery(Outcome::Unsat, t0);
+      case sat::Result::Unknown: return tallyQuery(Outcome::Unknown, t0);
+    }
+    return tallyQuery(Outcome::Unknown, t0);
 }
 
 Outcome
@@ -207,14 +214,14 @@ SmtSolver::solveWith(Expr temporary, std::int64_t conflict_budget)
     const double t0 = metrics::current().now();
     // Injected solver timeout: report Unknown without searching.
     if (faults::maybeInject(faults::Site::SmtUnknown))
-        return recordQuery(Outcome::Unknown, t0);
+        return tallyQuery(Outcome::Unknown, t0);
     const sat::Lit l = blaster.boolLit(lowerAndAckermannize(temporary));
     switch (sat.solveAssuming({l}, conflict_budget)) {
-      case sat::Result::Sat: return recordQuery(Outcome::Sat, t0);
-      case sat::Result::Unsat: return recordQuery(Outcome::Unsat, t0);
-      case sat::Result::Unknown: return recordQuery(Outcome::Unknown, t0);
+      case sat::Result::Sat: return tallyQuery(Outcome::Sat, t0);
+      case sat::Result::Unsat: return tallyQuery(Outcome::Unsat, t0);
+      case sat::Result::Unknown: return tallyQuery(Outcome::Unknown, t0);
     }
-    return recordQuery(Outcome::Unknown, t0);
+    return tallyQuery(Outcome::Unknown, t0);
 }
 
 expr::Assignment

@@ -79,6 +79,15 @@ class SmtSolver
     Outcome solve(std::int64_t conflict_budget = 200000);
 
     /**
+     * solve() without the SmtUnknown fault-injection gate.  The query
+     * cache owns exactly one gate per logical query and must not
+     * re-fire it when solving a miss or replaying a cached prefix to
+     * materialize an incremental solver; everything else (metrics
+     * tallying, outcomes) is identical to solve().
+     */
+    Outcome solveNoInject(std::int64_t conflict_budget = 200000);
+
+    /**
      * Solve under a temporary constraint that is *not* kept for later
      * calls (used for round-robin coverage classes).
      */
@@ -141,6 +150,16 @@ class SmtSolver
  */
 Outcome checkSat(expr::ExprContext &ctx, expr::Expr formula,
                  std::int64_t conflict_budget = 200000);
+
+/**
+ * Tally one query outcome into metrics::current() exactly as solve()
+ * does (smt.queries / smt.{sat,unsat,unknown} counters plus the
+ * smt.solve_seconds histogram).  Exposed for wrappers that answer a
+ * query without reaching the solver — a fault-injected Unknown in the
+ * query cache, for instance — so the metric stream stays identical to
+ * the uncached path.  @return `outcome`, for tail calls.
+ */
+Outcome tallyQuery(Outcome outcome, double start_time);
 
 } // namespace scamv::smt
 

@@ -35,6 +35,7 @@ siteName(Site site)
       case Site::HwFlake: return "hw_flake";
       case Site::DbWrite: return "db_write";
       case Site::TaskAbort: return "task_abort";
+      case Site::QcacheCorrupt: return "qcache_corrupt";
     }
     return "?";
 }
@@ -153,6 +154,16 @@ ScopedInjector::ScopedInjector(Injector &injector) : prev(tls_injector)
 }
 
 ScopedInjector::~ScopedInjector()
+{
+    tls_injector = prev;
+}
+
+ScopedSuppress::ScopedSuppress() : prev(tls_injector)
+{
+    tls_injector = nullptr;
+}
+
+ScopedSuppress::~ScopedSuppress()
 {
     tls_injector = prev;
 }

@@ -52,10 +52,11 @@ enum class Site : int {
     HwFlake,        ///< harness::Platform stray-line measurement flake
     DbWrite,        ///< ExperimentDb::add write failure
     TaskAbort,      ///< program task dies with an exception
+    QcacheCorrupt,  ///< qcache::QueryCache persisted record corruption
 };
 
 /** Number of sites (array sizing). */
-constexpr int kSiteCount = static_cast<int>(Site::TaskAbort) + 1;
+constexpr int kSiteCount = static_cast<int>(Site::QcacheCorrupt) + 1;
 
 /** @return the canonical (SCAMV_FAULT_PLAN) name of a site. */
 const char *siteName(Site site);
@@ -142,6 +143,26 @@ class ScopedInjector
 
     ScopedInjector(const ScopedInjector &) = delete;
     ScopedInjector &operator=(const ScopedInjector &) = delete;
+
+  private:
+    Injector *prev;
+};
+
+/**
+ * Temporarily uninstall the calling thread's injector (RAII).  Used
+ * when replaying work whose original (counted) attempt already made
+ * every fault decision — e.g. the query cache re-solving a cached
+ * solver prefix to materialize an incremental solver — so the replay
+ * cannot fire sites a byte-identical uninterrupted run never fired.
+ */
+class ScopedSuppress
+{
+  public:
+    ScopedSuppress();
+    ~ScopedSuppress();
+
+    ScopedSuppress(const ScopedSuppress &) = delete;
+    ScopedSuppress &operator=(const ScopedSuppress &) = delete;
 
   private:
     Injector *prev;

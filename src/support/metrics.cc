@@ -44,6 +44,22 @@ Histogram::observe(double x)
         ;
 }
 
+void
+Histogram::accumulate(const HistogramData &data)
+{
+    SCAMV_ASSERT(data.bounds == bnds,
+                 "histogram accumulate: bounds mismatch");
+    SCAMV_ASSERT(data.counts.size() == bnds.size() + 1,
+                 "histogram accumulate: bucket count mismatch");
+    for (std::size_t i = 0; i < data.counts.size(); ++i)
+        counts[i].fetch_add(data.counts[i], std::memory_order_relaxed);
+    n.fetch_add(data.count, std::memory_order_relaxed);
+    double cur = total.load(std::memory_order_relaxed);
+    while (!total.compare_exchange_weak(cur, cur + data.sum,
+                                        std::memory_order_relaxed))
+        ;
+}
+
 std::uint64_t
 Histogram::bucketCount(std::size_t i) const
 {
@@ -138,6 +154,17 @@ Registry::snapshot() const
         snap.histograms[name] = std::move(d);
     }
     return snap;
+}
+
+void
+Registry::merge(const Snapshot &snap)
+{
+    for (const auto &[name, v] : snap.counters)
+        counter(name).add(v);
+    for (const auto &[name, v] : snap.gauges)
+        gauge(name).add(v);
+    for (const auto &[name, h] : snap.histograms)
+        histogram(name, h.bounds).accumulate(h);
 }
 
 void

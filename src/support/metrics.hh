@@ -87,6 +87,8 @@ class Gauge
  * ascending order; an implicit overflow bucket catches everything
  * above the last bound, so there are bounds.size() + 1 buckets.
  */
+struct HistogramData;
+
 class Histogram
 {
   public:
@@ -94,6 +96,13 @@ class Histogram
 
     /** Record one sample. */
     void observe(double x);
+
+    /**
+     * Fold a plain-data histogram into this one: bucket counts, sum
+     * and count add.  Bounds must agree.  Used when replaying a
+     * captured metric delta (see Registry::merge).
+     */
+    void accumulate(const HistogramData &data);
 
     const std::vector<double> &bounds() const { return bnds; }
     /** @return count of bucket i (i <= bounds().size()). */
@@ -178,6 +187,16 @@ class Registry
 
     /** Copy out all metrics (sorted by name). */
     Snapshot snapshot() const;
+
+    /**
+     * Apply a snapshot into this live registry: counters and gauges
+     * add, histogram buckets/sums accumulate (bounds must agree).
+     * The inverse of capturing work in a scratch registry: merging
+     * the captured snapshot makes the registry look exactly as if
+     * the work had run against it directly — the query cache uses
+     * this to replay a cached query's solver metrics on a hit.
+     */
+    void merge(const Snapshot &snap);
 
     /**
      * Drop every metric.  Outstanding Counter/Gauge/Histogram
