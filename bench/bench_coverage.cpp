@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Adaptive-scheduler coverage bench: runs the uniform vs adaptive
+ * comparison of bench/coverage_report.hh and emits
+ * `BENCH_coverage.json`.  Exits non-zero when adaptive scheduling
+ * fails its classes-per-program gate, so CI catches regressions in
+ * the scheduler's coverage economics.
+ */
+
+#include <cstdio>
+
+#include "coverage_report.hh"
+
+int
+main()
+{
+    const bool ok = scamv::benchsupport::writeCoverageReport();
+    if (!ok)
+        std::printf("[coverage] FAILED (see BENCH_coverage.json)\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Shared bench helper: compare the adaptive campaign scheduler
+ * (src/cover) against the uniform baseline on the paper's stride
+ * workload and emit `BENCH_coverage.json` (schema
+ * "scamv-coverage-v1", plus a "comparison" section).
+ *
+ * Both campaigns run the same Stride / Mpart+MpartRefined / PcAndLine
+ * configuration with the same seed and budget.  The uniform schedule
+ * draws Mline classes at random, re-hitting covered classes for the
+ * whole campaign; the adaptive schedule plans each round
+ * least-covered-first from the coverage ledger and stops early once
+ * the class universe is saturated.  The headline metric is *classes
+ * covered per program actually run* — the coverage a program of
+ * budget buys — and the report gates on adaptive being at least
+ * `kMinRatio` times better.
+ */
+
+#ifndef SCAMV_BENCH_COVERAGE_REPORT_HH
+#define SCAMV_BENCH_COVERAGE_REPORT_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "cover/ledger.hh"
+#include "gen/templates.hh"
+#include "obs/models.hh"
+#include "support/stopwatch.hh"
+
+namespace scamv::benchsupport {
+
+/** Required adaptive : uniform classes-per-program advantage. */
+inline constexpr double kMinRatio = 1.5;
+
+namespace coverage_detail {
+
+struct ModeResult {
+    core::RunStats stats;
+    double wallSeconds = 0.0;
+    cover::Snapshot coverage;
+
+    double
+    classesPerProgram() const
+    {
+        return stats.programs
+                   ? static_cast<double>(stats.coveredClasses) /
+                         static_cast<double>(stats.programs)
+                   : 0.0;
+    }
+};
+
+inline core::PipelineConfig
+strideWorkload()
+{
+    core::PipelineConfig cfg;
+    cfg.templateKind = gen::TemplateKind::Stride;
+    cfg.model = obs::ModelKind::Mpart;
+    cfg.refinement = obs::ModelKind::MpartRefined;
+    cfg.coverage = core::Coverage::PcAndLine;
+    cfg.testsPerProgram = 8;
+    cfg.seed = 99;
+    cfg.modelParams.attacker.loSet = 61;
+    cfg.platform.visibleLoSet = 61;
+    cfg.platform.visibleHiSet = 127;
+    // SCAMV_SCALE shrinks smoke runs, but the comparison needs enough
+    // budget for the uniform baseline's diminishing returns to show:
+    // keep at least ~2x the programs adaptive needs to saturate.
+    cfg.programs =
+        std::max(32, core::scaled(48, core::scaleFromEnv(1.0)));
+    return cfg;
+}
+
+inline ModeResult
+runMode(core::Schedule schedule)
+{
+    cover::CoverageLedger ledger;
+    core::PipelineConfig cfg = strideWorkload();
+    cfg.schedule = schedule;
+    cfg.coverageLedger = &ledger;
+    ModeResult r;
+    Stopwatch watch;
+    r.stats = core::Pipeline(cfg).run();
+    r.wallSeconds = watch.seconds();
+    r.coverage = ledger.snapshot();
+    return r;
+}
+
+inline void
+appendMode(std::string &out, const char *name, const ModeResult &r)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    \"%s\": {\"programs\": %d, \"early_stopped\": %d, "
+        "\"classes_covered\": %lld, \"classes_per_program\": %.3f, "
+        "\"counterexamples\": %lld, \"ttc_s\": %.4f, "
+        "\"wall_s\": %.4f}",
+        name, r.stats.programs, r.stats.earlyStopped,
+        static_cast<long long>(r.stats.coveredClasses),
+        r.classesPerProgram(),
+        static_cast<long long>(r.stats.counterexamples),
+        r.stats.ttcSeconds, r.wallSeconds);
+    out += buf;
+}
+
+} // namespace coverage_detail
+
+/**
+ * Run the uniform/adaptive comparison and write `path`: the adaptive
+ * campaign's coverage ledger in the "scamv-coverage-v1" schema, plus
+ * a "comparison" section with both campaigns' coverage economics.
+ * @return false when the report cannot be written or adaptive fails
+ * the kMinRatio gate (the caller should fail the bench run).
+ */
+inline bool
+writeCoverageReport(const std::string &path = "BENCH_coverage.json")
+{
+    using coverage_detail::ModeResult;
+
+    const ModeResult uniform =
+        coverage_detail::runMode(core::Schedule::Uniform);
+    const ModeResult adaptive =
+        coverage_detail::runMode(core::Schedule::Adaptive);
+
+    const double up = uniform.classesPerProgram();
+    const double ap = adaptive.classesPerProgram();
+    const double ratio = up > 0 ? ap / up : 0.0;
+
+    std::printf("[coverage] uniform:  %d programs  %lld classes "
+                "(%.2f / program)\n",
+                uniform.stats.programs,
+                static_cast<long long>(uniform.stats.coveredClasses),
+                up);
+    std::printf("[coverage] adaptive: %d programs  %lld classes "
+                "(%.2f / program, %d early-stopped)\n",
+                adaptive.stats.programs,
+                static_cast<long long>(adaptive.stats.coveredClasses),
+                ap, adaptive.stats.earlyStopped);
+    std::printf("[coverage] classes-per-program ratio: %.2fx "
+                "(gate: %.1fx)\n",
+                ratio, kMinRatio);
+
+    // The ledger JSON already carries the closing brace; splice the
+    // comparison section in before it.
+    std::string body = cover::toJson(adaptive.coverage);
+    body.erase(body.rfind('}'));
+    body += ",\n  \"comparison\": {\n";
+    coverage_detail::appendMode(body, "uniform", uniform);
+    body += ",\n";
+    coverage_detail::appendMode(body, "adaptive", adaptive);
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  ",\n    \"ratio\": %.3f,\n    \"min_ratio\": %.2f\n",
+                  ratio, kMinRatio);
+    body += buf;
+    body += "  }\n}\n";
+
+    std::ofstream out(path);
+    if (!out || !(out << body))
+        return false;
+    out.close();
+    return ratio >= kMinRatio;
+}
+
+} // namespace scamv::benchsupport
+
+#endif // SCAMV_BENCH_COVERAGE_REPORT_HH

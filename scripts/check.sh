@@ -26,7 +26,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "== TSan: thread pool + pipeline tests (${TSAN_DIR}) =="
 cmake -B "$TSAN_DIR" -S . "${GENERATOR[@]}" -DSCAMV_ENABLE_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target test_thread_pool test_pipeline test_metrics test_qcache
+    --target test_thread_pool test_pipeline test_metrics test_qcache \
+    test_cover
 
 # Force a real multi-thread pool even on single-core CI runners so
 # TSan observes genuine cross-thread interleavings.
@@ -37,6 +38,8 @@ SCAMV_THREADS=4 "$TSAN_DIR"/tests/test_metrics \
     --gtest_filter='Metrics.Concurrent*:Metrics.Scoped*:MetricsPipeline.*'
 SCAMV_THREADS=4 "$TSAN_DIR"/tests/test_qcache \
     --gtest_filter='Campaign.*:Cache.*'
+SCAMV_THREADS=4 "$TSAN_DIR"/tests/test_cover \
+    --gtest_filter='CoverPipeline.*:CoverFaultCampaign.*'
 
 echo "== ASan/UBSan: full test suite (${ASAN_DIR}) =="
 cmake -B "$ASAN_DIR" -S . "${GENERATOR[@]}" -DSCAMV_ENABLE_ASAN=ON

@@ -10,7 +10,11 @@ Three shapes are recognized (auto-detected per file):
    least a 1.5x speedup and the warm campaign must be deterministic;
  - ``scamv-metrics-v1`` from src/support/metrics (SCAMV_METRICS):
    counters, gauges and histograms, with internally consistent
-   histogram bucket layouts.
+   histogram bucket layouts;
+ - ``scamv-coverage-v1`` from src/cover (SCAMV_COVERAGE_FILE or
+   bench/coverage_report.hh): per-template coverage-ledger atoms;
+   when the bench's ``comparison`` section is present, the adaptive
+   scheduler must beat uniform by its declared ``min_ratio``.
 
 Exit status is non-zero if any file is missing, unparseable or
 malformed, which is what makes the CI bench-smoke job a real gate.
@@ -119,6 +123,70 @@ def check_metrics(path, doc):
           f"{len(histograms)} histograms)")
 
 
+def check_coverage(path, doc):
+    templates = doc.get("templates")
+    if not isinstance(templates, dict) or not templates:
+        fail(path, "no templates recorded")
+    for name, cell in templates.items():
+        if not isinstance(cell, dict):
+            fail(path, f"template {name!r} is not an object")
+        for key in ("universe", "covered"):
+            v = cell.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(path, f"template {name!r}: {key!r} is not a "
+                           "non-negative integer")
+        classes = cell.get("classes")
+        if not isinstance(classes, dict):
+            fail(path, f"template {name!r}: missing classes object")
+        hit = 0
+        for cls, st in classes.items():
+            if not cls.lstrip("-").isdigit():
+                fail(path, f"template {name!r}: class key {cls!r} is "
+                           "not an integer")
+            if not isinstance(st, dict) \
+                    or not all(is_num(st.get(k)) for k in
+                               ("hits", "draws", "solver_s")):
+                fail(path, f"template {name!r}: class {cls!r} is "
+                           "missing hits/draws/solver_s")
+            if st["hits"] > st["draws"]:
+                fail(path, f"template {name!r}: class {cls!r} has "
+                           "more hits than draws")
+            hit += st["hits"] > 0
+        if hit != cell["covered"]:
+            fail(path, f"template {name!r}: covered says "
+                       f"{cell['covered']}, classes show {hit}")
+        if cell["universe"] and cell["covered"] > cell["universe"]:
+            fail(path, f"template {name!r}: covered exceeds universe")
+        for key in ("path_pairs", "models"):
+            if not isinstance(cell.get(key), dict):
+                fail(path, f"template {name!r}: missing {key!r} object")
+    comparison = doc.get("comparison")
+    if comparison is None:
+        print(f"{path}: OK ({len(templates)} templates)")
+        return
+    if not isinstance(comparison, dict):
+        fail(path, "comparison is not an object")
+    for mode in ("uniform", "adaptive"):
+        entry = comparison.get(mode)
+        if not isinstance(entry, dict):
+            fail(path, f"comparison: missing {mode!r} object")
+        for key in ("programs", "classes_covered",
+                    "classes_per_program"):
+            if not is_num(entry.get(key)):
+                fail(path, f"comparison {mode!r}: missing numeric "
+                           f"{key!r}")
+    ratio = comparison.get("ratio")
+    min_ratio = comparison.get("min_ratio")
+    if not is_num(ratio) or not is_num(min_ratio):
+        fail(path, "comparison: missing numeric ratio/min_ratio")
+    if ratio < min_ratio:
+        fail(path, f"comparison: adaptive/uniform classes-per-program "
+                   f"ratio {ratio} < {min_ratio} (adaptive scheduling "
+                   "is not paying for itself)")
+    print(f"{path}: OK (adaptive {ratio:.2f}x uniform, "
+          f"{len(templates)} templates)")
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -133,6 +201,8 @@ def check_file(path):
         check_metrics(path, doc)
     elif doc.get("schema") == "scamv-qcache-v1":
         check_qcache(path, doc)
+    elif doc.get("schema") == "scamv-coverage-v1":
+        check_coverage(path, doc)
     elif "campaigns" in doc:
         check_parallel(path, doc)
     else:

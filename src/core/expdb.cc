@@ -111,11 +111,18 @@ bool
 ExperimentDb::exportCsv(const std::string &path) const
 {
     TextTable t;
-    t.setHeader({"program", "path", "trained", "verdict",
-                 "differing_reps", "total_reps", "s1_regs", "s1_mem",
-                 "s2_regs", "s2_mem"});
+    t.setHeader({"program", "path", "trained", "line_class1",
+                 "line_class2", "verdict", "differing_reps",
+                 "total_reps", "s1_regs", "s1_mem", "s2_regs",
+                 "s2_mem"});
+    // A -1 line class exports as an empty cell: "no class pinned" is
+    // not a class id.
+    auto cls = [](int c) {
+        return c < 0 ? std::string() : std::to_string(c);
+    };
     for (const auto &r : records) {
         t.addRow({r.programName, r.pathId, r.trained ? "yes" : "no",
+                  cls(r.lineClass1), cls(r.lineClass2),
                   verdictName(r.verdict),
                   std::to_string(r.differingReps),
                   std::to_string(r.totalReps),

@@ -32,6 +32,11 @@ struct ExperimentRecord {
     std::string pathId;
     harness::TestCase testCase;
     bool trained = false;
+    /** Mline set-index class pinned for each state's first access by
+     *  the test's coverage draw (-1: none — Pc-only campaigns or
+     *  memory-free paths). */
+    int lineClass1 = -1;
+    int lineClass2 = -1;
     harness::Verdict verdict = harness::Verdict::Indistinguishable;
     int differingReps = 0;
     int totalReps = 0;

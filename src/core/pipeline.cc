@@ -13,6 +13,7 @@
 
 #include "bir/transform.hh"
 #include "core/expdb.hh"
+#include "cover/scheduler.hh"
 #include "rel/relation.hh"
 #include "smt/sampler.hh"
 #include "smt/solver.hh"
@@ -150,6 +151,26 @@ struct PairEnumerators {
 };
 
 /**
+ * One program's slice of the campaign schedule.  Under the Uniform
+ * schedule every field but `prog_i`/`templ` keeps its default; the
+ * adaptive scheduler additionally hands the task its round's class
+ * plan and coordinates (see cover/scheduler.hh).  The task stays a
+ * pure function of (cfg, task): the plan is itself a pure function of
+ * the ledger state at the round boundary, which the merge order makes
+ * thread-count independent.
+ */
+struct ProgramTask {
+    int prog_i = 0;
+    gen::TemplateKind templ = gen::TemplateKind::A;
+    /** Collect a cover::ProgramDelta for the campaign ledger. */
+    bool collectCover = false;
+    /** Adaptive class plan for this round (null: uniform rng draws). */
+    const cover::RoundPlan *plan = nullptr;
+    int slot = 0;   ///< slot within the round
+    int stride = 1; ///< round size (planClass stratification stride)
+};
+
+/**
  * Everything one program task produces.  Slots are indexed by
  * program index and merged in order after the campaign barrier, so
  * the aggregate is independent of task scheduling.  All counting and
@@ -172,6 +193,9 @@ struct ProgramOutcome {
     double taskSeconds = 0.0;
     /** Buffered database records, flushed in index order. */
     std::vector<ExperimentRecord> records;
+    /** Coverage atoms of this program, folded into the campaign
+     *  ledger in index order (empty when untracked). */
+    cover::ProgramDelta coverDelta;
     /** This task's private metrics registry, frozen at task end. */
     metrics::Snapshot metrics;
 };
@@ -199,13 +223,15 @@ retryBackoff(metrics::Registry &reg, const char *stage, int attempt)
 
 /**
  * Run the whole experiment campaign of one program.  Pure function
- * of (cfg, prog_i): every stochastic component is seeded from
- * deriveProgramSeed(cfg.seed, prog_i), and nothing outside the
+ * of (cfg, task): every stochastic component is seeded from
+ * deriveProgramSeed(cfg.seed, task.prog_i), and nothing outside the
  * returned ProgramOutcome is written.
  */
 ProgramOutcome
-runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
+runOneProgram(const PipelineConfig &cfg, bool instrument,
+              const ProgramTask &task)
 {
+    const int prog_i = task.prog_i;
     ProgramOutcome out;
     Stopwatch task_watch;
 
@@ -237,6 +263,18 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
         throw faults::InjectedTaskFault(prog_i);
     const int retry_max = cfg.retryMax < 0 ? 2 : cfg.retryMax;
 
+    // Coverage accounting is opt-in per task: the Uniform schedule
+    // without a ledger never touches the delta (or the extra clock
+    // reads below), keeping untracked campaigns byte-identical to the
+    // pre-cover pipeline.
+    cover::ProgramDelta &delta = out.coverDelta;
+    if (task.collectCover) {
+        delta.templ = gen::templateName(task.templ);
+        delta.model = obs::modelName(cfg.model);
+        if (cfg.coverage == Coverage::PcAndLine)
+            delta.universe = cfg.modelParams.geom.numSets;
+    }
+
     // Freeze the task's registry into the outcome; called on every
     // exit path so even pair-less programs contribute a snapshot.
     auto finish_task = [&] {
@@ -250,8 +288,7 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
     const std::uint64_t prog_seed = deriveProgramSeed(cfg.seed, prog_i);
     gen::GeneratorConfig gen_cfg;
     gen_cfg.lineBytes = cfg.modelParams.geom.lineBytes;
-    gen::ProgramGenerator generator(cfg.templateKind, prog_seed,
-                                    gen_cfg);
+    gen::ProgramGenerator generator(task.templ, prog_seed, gen_cfg);
     generator.setCounter(prog_i);
     harness::Platform platform(cfg.platform, prog_seed ^ 0x90153ULL);
     Rng rng(prog_seed ^ 0xc0ffeeULL);
@@ -370,6 +407,28 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
 
     std::size_t rr = 0; // round-robin cursor over path pairs
     int fault_failures = 0; // consecutive injected-fault test failures
+    int plan_draw = 0; // monotone cursor into the adaptive class plan
+
+    // One Mline coverage draw: least-covered-first from the round
+    // plan when the adaptive scheduler supplied one, the classic
+    // random draw otherwise (same rng sequence as ever).
+    auto draw_line_coverage = [&](const rel::PathPair &pair)
+        -> std::optional<rel::LineCoverageDraw> {
+        std::optional<rel::LineCoverageDraw> cov;
+        if (task.plan && !task.plan->classOrder.empty()) {
+            const int cls = cover::planClass(
+                *task.plan, task.slot, plan_draw++, task.stride);
+            cov = relation->lineCoverageConstraintFor(pair, cls, cls);
+        } else {
+            cov = relation->lineCoverageConstraint(pair, rng);
+        }
+        if (cov && task.collectCover) {
+            delta.countDraw(cov->class1);
+            if (cov->class2 != cov->class1)
+                delta.countDraw(cov->class2);
+        }
+        return cov;
+    };
 
     for (int test_i = 0; test_i < cfg.testsPerProgram; ++test_i) {
         const std::uint64_t test_faults0 = faults::injectedCount();
@@ -391,6 +450,8 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
         // nested relation_synthesis time is not charged twice.
         const Expr pair_formula = formula_for(pair_idx);
         std::optional<expr::Assignment> model;
+        int line_cls1 = -1, line_cls2 = -1;
+        const double smt_t0 = task.collectCover ? reg.now() : 0.0;
         {
         metrics::PhaseTimer phase(reg, "smt");
 
@@ -406,10 +467,12 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
             if (cfg.strategy == SolveStrategy::Sampler) {
                 Expr f = pair_formula;
                 if (cfg.coverage == Coverage::PcAndLine) {
-                    auto cov =
-                        relation->lineCoverageConstraint(pair, rng);
-                    if (cov)
-                        f = ctx.land(f, *cov);
+                    auto cov = draw_line_coverage(pair);
+                    if (cov) {
+                        f = ctx.land(f, cov->constraint);
+                        line_cls1 = cov->class1;
+                        line_cls2 = cov->class2;
+                    }
                 }
                 smt::SamplerConfig sampler_cfg;
                 sampler_cfg.regionBase = cfg.region.base;
@@ -452,11 +515,14 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
                          redraw < cfg.coverageRetries &&
                          outcome != smt::Outcome::Sat;
                          ++redraw) {
-                        auto cov =
-                            relation->lineCoverageConstraint(pair,
-                                                             rng);
+                        auto cov = draw_line_coverage(pair);
+                        if (cov) {
+                            line_cls1 = cov->class1;
+                            line_cls2 = cov->class2;
+                        }
                         outcome =
-                            cov ? en->solver().solveWith(*cov, budget)
+                            cov ? en->solver().solveWith(
+                                      cov->constraint, budget)
                                 : en->solver().solve(budget);
                         if (!cov)
                             break;
@@ -511,6 +577,12 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
             symmetrizeModel(pair_formula, program, *model,
                             rng, cfg.similarityBias);
         } // phase "smt"
+        if (task.collectCover) {
+            // Per-atom cost: the whole solve (including redraws) is
+            // charged to the test's final s1 class.  Deterministic
+            // under the deterministic registry clock.
+            delta.chargeSolver(line_cls1, reg.now() - smt_t0);
+        }
 
         if (!model) {
             reg.counter("pipeline.generation_failures").inc();
@@ -555,6 +627,15 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
             }
         }
         reg.counter("pipeline.experiments").inc();
+        if (task.collectCover) {
+            ++delta.verdicts.experiments;
+            delta.countHit(line_cls1);
+            if (line_cls2 != line_cls1)
+                delta.countHit(line_cls2);
+            ++delta.pathPairs[relation->paths1()[pair.idx1].pathId() +
+                              "|" +
+                              relation->paths2()[pair.idx2].pathId()];
+        }
         if (result.flakedReps > 0) {
             // Accepted, but on flaky measurements: the verdict has
             // already been degraded to at most Inconclusive by the
@@ -570,6 +651,8 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
                 relation->paths1()[pair.idx1].pathId();
             record.testCase = tc;
             record.trained = training.has_value();
+            record.lineClass1 = line_cls1;
+            record.lineClass2 = line_cls2;
             record.verdict = result.verdict;
             record.differingReps = result.differingReps;
             record.totalReps = result.totalReps;
@@ -582,11 +665,17 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
             out.hasCex = true;
             if (out.firstCexOffsetSeconds < 0)
                 out.firstCexOffsetSeconds = task_watch.seconds();
+            if (task.collectCover)
+                ++delta.verdicts.counterexamples;
             break;
           case harness::Verdict::Inconclusive:
             reg.counter("pipeline.inconclusive").inc();
+            if (task.collectCover)
+                ++delta.verdicts.inconclusive;
             break;
           case harness::Verdict::Indistinguishable:
+            if (task.collectCover)
+                ++delta.verdicts.indistinguishable;
             break;
         }
     }
@@ -605,12 +694,13 @@ runOneProgram(const PipelineConfig &cfg, bool instrument, int prog_i)
  */
 ProgramOutcome
 runOneProgramGuarded(const PipelineConfig &cfg, bool instrument,
-                     int prog_i)
+                     const ProgramTask &task)
 {
+    const int prog_i = task.prog_i;
     ProgramOutcome out;
     bool injected = false;
     try {
-        return runOneProgram(cfg, instrument, prog_i);
+        return runOneProgram(cfg, instrument, task);
     } catch (const faults::InjectedTaskFault &e) {
         injected = true;
         warn(std::string("pipeline: ") + e.what());
@@ -666,6 +756,22 @@ histogramSumOr0(const metrics::Snapshot &s, const std::string &name)
     return it == s.histograms.end() ? 0.0 : it->second.sum;
 }
 
+/** Resolve SCAMV_SCHEDULE ("uniform" | "adaptive"; unknown warns). */
+Schedule
+scheduleFromEnv()
+{
+    const char *v = std::getenv("SCAMV_SCHEDULE");
+    if (!v || !*v)
+        return Schedule::Uniform;
+    const std::string_view s(v);
+    if (s == "adaptive")
+        return Schedule::Adaptive;
+    if (s != "uniform")
+        warn("SCAMV_SCHEDULE: unknown schedule '" + std::string(s) +
+             "', using uniform");
+    return Schedule::Uniform;
+}
+
 } // namespace
 
 RunStats
@@ -697,38 +803,186 @@ Pipeline::run()
         cfg.queryCache = nullptr;
     }
 
+    // Schedule and coverage tracking: an explicitly configured
+    // schedule wins, otherwise SCAMV_SCHEDULE; coverage accounting
+    // activates only when something consumes it (adaptive rounds, a
+    // configured ledger, or a SCAMV_COVERAGE_FILE export) — an
+    // untracked uniform campaign takes the exact pre-cover code path.
+    const Schedule sched = cfg.schedule.value_or(scheduleFromEnv());
+    const char *cov_env = std::getenv("SCAMV_COVERAGE_FILE");
+    const std::string cov_path = cov_env ? cov_env : "";
+    cover::CoverageLedger local_ledger;
+    cover::CoverageLedger *ledger = cfg.coverageLedger;
+    const bool track_cover = sched == Schedule::Adaptive ||
+                             !cov_path.empty() || ledger != nullptr;
+    if (track_cover && !ledger)
+        ledger = &local_ledger;
+
     const bool instrument = needsSpecInstrumentation(cfg);
     const int n_threads = resolveThreads(cfg.threads);
 
+    std::vector<gen::TemplateKind> templates = cfg.templateKinds;
+    if (templates.empty())
+        templates.push_back(cfg.templateKind);
+
     // One slot per program; tasks never touch shared state, so the
     // campaign is embarrassingly parallel and the merge below sees
-    // the same slot contents regardless of scheduling.
+    // the same slot contents regardless of scheduling.  (Adaptive
+    // early-stop may leave trailing slots unused; they merge as empty
+    // outcomes.)
     std::vector<ProgramOutcome> slots(
         cfg.programs > 0 ? static_cast<std::size_t>(cfg.programs) : 0);
 
-    if (n_threads <= 1 || cfg.programs <= 1) {
-        // Reference path: plain sequential loop on this thread.
-        for (int prog_i = 0; prog_i < cfg.programs; ++prog_i)
-            slots[prog_i] =
-                runOneProgramGuarded(cfg, instrument, prog_i);
-    } else {
-        ThreadPool pool(static_cast<unsigned>(n_threads));
-        for (int prog_i = 0; prog_i < cfg.programs; ++prog_i) {
-            pool.submit([this, instrument, prog_i, &slots] {
-                slots[prog_i] =
-                    runOneProgramGuarded(cfg, instrument, prog_i);
-            });
+    // Campaign-level registry: round planning, ledger merging and the
+    // final stats/db merge all count into it; it is folded into the
+    // campaign snapshot after the per-program snapshots.
+    metrics::Registry campaign_reg(cfg.deterministicMetricsTiming
+                                       ? metrics::ClockMode::Deterministic
+                                       : metrics::ClockMode::Wall);
+
+    std::optional<ThreadPool> pool;
+    if (n_threads > 1 && cfg.programs > 1)
+        pool.emplace(static_cast<unsigned>(n_threads));
+
+    auto run_batch = [&](const std::vector<ProgramTask> &tasks) {
+        if (!pool) {
+            // Reference path: plain sequential loop on this thread.
+            for (const ProgramTask &task : tasks)
+                slots[task.prog_i] =
+                    runOneProgramGuarded(cfg, instrument, task);
+        } else {
+            for (const ProgramTask &task : tasks) {
+                pool->submit([this, instrument, task, &slots] {
+                    slots[task.prog_i] =
+                        runOneProgramGuarded(cfg, instrument, task);
+                });
+            }
+            pool->wait();
         }
-        pool.wait();
+    };
+
+    // Fold the coverage deltas of programs [first, first+count) into
+    // the ledger, in program-index order on this thread — the ledger
+    // state at every round boundary (and hence the exported JSON) is
+    // a pure function of the schedule, never of the thread count.
+    // Each program's merge runs under its own injector (mirroring the
+    // db flush): an injected cover.ledger_merge fault drops that
+    // delta.  @return true when every delta landed.
+    const bool cover_faults =
+        cfg.faultPlan.enabled() &&
+        cfg.faultPlan.covers(faults::Site::CoverLedgerMerge);
+    auto merge_batch = [&](int first, int count) {
+        bool ok = true;
+        metrics::ScopedRegistry scope(campaign_reg);
+        for (int prog_i = first; prog_i < first + count; ++prog_i) {
+            const ProgramOutcome &out = slots[prog_i];
+            if (out.failed)
+                continue; // the task died before producing a delta
+            faults::Injector injector(cfg.faultPlan, cfg.seed, prog_i);
+            std::optional<faults::ScopedInjector> inj_scope;
+            if (cover_faults)
+                inj_scope.emplace(injector);
+            if (!ledger->merge(out.coverDelta)) {
+                campaign_reg.counter("cover.merge_dropped").inc();
+                ok = false;
+            }
+        }
+        return ok;
+    };
+
+    if (sched == Schedule::Uniform) {
+        // One uniform batch over the whole budget; multi-template
+        // campaigns round-robin by program index.
+        std::vector<ProgramTask> tasks;
+        tasks.reserve(slots.size());
+        for (int prog_i = 0; prog_i < cfg.programs; ++prog_i) {
+            ProgramTask task;
+            task.prog_i = prog_i;
+            task.templ = templates[static_cast<std::size_t>(prog_i) %
+                                   templates.size()];
+            task.collectCover = track_cover;
+            tasks.push_back(task);
+        }
+        run_batch(tasks);
+        if (track_cover)
+            merge_batch(0, cfg.programs);
+    } else {
+        // Adaptive schedule: spend the budget in deterministic rounds
+        // (round size is a pure function of the budget), replanning
+        // from a ledger snapshot at every round boundary.
+        const int round_size = cover::roundSizeFor(cfg.programs);
+        const std::uint64_t num_sets =
+            cfg.coverage == Coverage::PcAndLine
+                ? cfg.modelParams.geom.numSets
+                : 0;
+        std::vector<std::string> names;
+        for (gen::TemplateKind kind : templates)
+            names.emplace_back(gen::templateName(kind));
+
+        bool degraded = false;
+        int next = 0;
+        for (int round = 0; next < cfg.programs; ++round) {
+            const int batch = std::min(round_size, cfg.programs - next);
+            std::vector<cover::RoundPlan> plans(templates.size());
+            std::vector<int> assign;
+            if (!degraded) {
+                const cover::Snapshot snap = ledger->snapshot();
+                bool all_saturated = num_sets > 0;
+                for (std::size_t i = 0; i < templates.size(); ++i) {
+                    plans[i] = cover::planRound(snap, names[i],
+                                                cfg.seed, round,
+                                                num_sets);
+                    all_saturated &= plans[i].saturated;
+                }
+                if (all_saturated) {
+                    // Every template's class universe is covered or
+                    // exhausted: stop spending programs on it.
+                    campaign_reg.counter("cover.early_stop").inc();
+                    campaign_reg.counter("cover.skipped_programs")
+                        .add(static_cast<std::uint64_t>(cfg.programs -
+                                                        next));
+                    break;
+                }
+                assign = cover::weightedAssignment(
+                    cover::templateWeights(snap, names, num_sets),
+                    batch);
+            } else {
+                // Ledger-merge faults poisoned the accounting:
+                // degrade to the uniform round-robin draw for the
+                // rest of the campaign.
+                assign.resize(batch);
+                for (int s = 0; s < batch; ++s)
+                    assign[s] =
+                        static_cast<int>((next + s) % templates.size());
+            }
+            campaign_reg.counter("cover.rounds").inc();
+
+            std::vector<ProgramTask> tasks;
+            tasks.reserve(batch);
+            for (int s = 0; s < batch; ++s) {
+                ProgramTask task;
+                task.prog_i = next + s;
+                task.templ = templates[assign[s]];
+                task.collectCover = true;
+                task.plan = degraded ? nullptr : &plans[assign[s]];
+                task.slot = s;
+                task.stride = batch;
+                tasks.push_back(task);
+            }
+            run_batch(tasks);
+            if (!merge_batch(next, batch) && !degraded) {
+                degraded = true;
+                campaign_reg.counter("cover.degraded").inc();
+            }
+            next += batch;
+        }
+        stats.earlyStopped = cfg.programs - next;
     }
 
     // Deterministic in-order merge.  Task snapshots are folded in
     // program-index order, so the campaign snapshot is identical for
     // any thread count; the db_merge phase of the campaign-level
     // registry covers the fold plus the database flush.
-    metrics::Registry campaign_reg(cfg.deterministicMetricsTiming
-                                       ? metrics::ClockMode::Deterministic
-                                       : metrics::ClockMode::Wall);
     {
         metrics::PhaseTimer phase(campaign_reg, "db_merge");
 
@@ -818,6 +1072,23 @@ Pipeline::run()
         counterOr0(stats.metrics, "pipeline.program_failures"));
     stats.dbWriteDrops =
         counterOr0(stats.metrics, "pipeline.db_write_drops");
+    stats.ledgerMergeDrops =
+        counterOr0(stats.metrics, "cover.merge_dropped");
+    stats.schedulerDegraded =
+        counterOr0(stats.metrics, "cover.degraded") > 0;
+
+    if (track_cover) {
+        stats.coverageTracked = true;
+        stats.coverage = ledger->snapshot();
+        for (const auto &[templ, cell] : stats.coverage.templates) {
+            stats.coveredClasses += cell.coveredClasses();
+            stats.classUniverse += cell.universe;
+        }
+        if (!cov_path.empty() &&
+            !cover::writeJson(stats.coverage, cov_path))
+            warn("pipeline: cannot write coverage JSON to " +
+                 cov_path);
+    }
     stats.totalGenSeconds =
         histogramSumOr0(stats.metrics, "phase.generate_seconds") +
         histogramSumOr0(stats.metrics, "phase.symbolic_exec_seconds") +

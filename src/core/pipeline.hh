@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "cover/ledger.hh"
 #include "gen/templates.hh"
 #include "harness/platform.hh"
 #include "obs/models.hh"
@@ -71,6 +72,12 @@ enum class Coverage {
     PcAndLine ///< Mpc + cache-set-index classes (Mline)
 };
 
+/** Campaign budget allocation policy (see src/cover, DESIGN.md §10). */
+enum class Schedule {
+    Uniform, ///< spend the budget uniformly (the pre-cover behaviour)
+    Adaptive ///< deterministic rounds planned from the coverage ledger
+};
+
 /** Test-generation strategy (how models are drawn from the relation). */
 enum class SolveStrategy {
     Canonical,    ///< CDCL, default polarities: minimal Z3-like models
@@ -81,6 +88,13 @@ enum class SolveStrategy {
 /** Full pipeline configuration for one experiment campaign. */
 struct PipelineConfig {
     gen::TemplateKind templateKind = gen::TemplateKind::A;
+    /**
+     * Multi-template campaigns: when non-empty, programs draw their
+     * template from this list instead of `templateKind` — round-robin
+     * under the Uniform schedule, coverage-weighted under Adaptive
+     * (undecided / low-coverage templates get more budget).
+     */
+    std::vector<gen::TemplateKind> templateKinds;
     /** Model under validation (M1). */
     obs::ModelKind model = obs::ModelKind::Mct;
     /** Refined model (M2); disabled when unset. */
@@ -114,6 +128,26 @@ struct PipelineConfig {
     obs::ModelParams modelParams;
     obs::MemoryRegion region;
     harness::PlatformConfig platform;
+
+    /**
+     * Budget allocation policy.  Unset resolves from the validated
+     * SCAMV_SCHEDULE environment variable ("uniform" | "adaptive"),
+     * defaulting to Uniform.  Uniform without coverage tracking (no
+     * ledger, no SCAMV_COVERAGE_FILE) takes the exact pre-cover code
+     * path: no extra rng draws, counters or clock reads, so campaign
+     * results stay byte-identical to earlier releases.  Adaptive runs
+     * the campaign in deterministic rounds planned from the coverage
+     * ledger (see src/cover/scheduler.hh and DESIGN.md §10).
+     */
+    std::optional<Schedule> schedule;
+    /**
+     * Campaign coverage ledger (see src/cover/ledger.hh).  When set,
+     * per-program coverage deltas are folded into it in program-index
+     * order; when unset, run() uses an internal ledger whenever one
+     * is needed (Adaptive schedule or SCAMV_COVERAGE_FILE).  Not
+     * owned; must outlive the pipeline run.
+     */
+    cover::CoverageLedger *coverageLedger = nullptr;
 
     SolveStrategy strategy = SolveStrategy::Canonical;
     std::int64_t conflictBudget = 200000;
@@ -209,6 +243,22 @@ struct RunStats {
     int programFailures = 0;
     /** Database records dropped after exhausting write retries. */
     std::int64_t dbWriteDrops = 0;
+    /** Coverage accounting ran (Adaptive schedule, a configured
+     *  ledger, or SCAMV_COVERAGE_FILE). */
+    bool coverageTracked = false;
+    /** Distinct Mline classes covered, summed over templates. */
+    std::int64_t coveredClasses = 0;
+    /** Mline class universe, summed over templates (0: Pc-only). */
+    std::uint64_t classUniverse = 0;
+    /** Programs not run: adaptive early-stop on saturation. */
+    int earlyStopped = 0;
+    /** Coverage deltas dropped by injected ledger-merge faults. */
+    std::int64_t ledgerMergeDrops = 0;
+    /** Adaptive scheduling degraded to uniform after merge faults. */
+    bool schedulerDegraded = false;
+    /** Final coverage-ledger snapshot (empty when untracked); export
+     *  with cover::toJson, or via SCAMV_COVERAGE_FILE. */
+    cover::Snapshot coverage;
     /** Names of quarantined programs, in program-index order. */
     std::vector<std::string> quarantinedPrograms;
     /** Names of failed program tasks, in program-index order. */

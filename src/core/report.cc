@@ -38,9 +38,16 @@ renderCampaignTable(const std::vector<ColumnMeta> &metas,
         t.addRow(std::move(cells));
     }
     {
+        // With a coverage ledger the static support-model label gains
+        // the measured class coverage ("Mpc & Mline 97/128").
         std::vector<std::string> cells{"Coverage"};
-        for (const ColumnMeta &m : metas)
-            cells.push_back(m.coverage);
+        for (std::size_t i = 0; i < metas.size(); ++i) {
+            std::string cell = metas[i].coverage;
+            if (stats[i].coverageTracked && stats[i].classUniverse)
+                cell += " " + std::to_string(stats[i].coveredClasses) +
+                        "/" + std::to_string(stats[i].classUniverse);
+            cells.push_back(std::move(cell));
+        }
         t.addRow(std::move(cells));
     }
 
@@ -68,6 +75,23 @@ renderCampaignTable(const std::vector<ColumnMeta> &metas,
                                 : fmtDouble(s.ttcSeconds, 2);
     });
 
+    // Coverage-ledger rows appear only when some campaign tracked
+    // coverage, keeping the default table in the paper layout.
+    bool any_cover = false;
+    for (const RunStats &s : stats)
+        any_cover |= s.coverageTracked;
+    if (any_cover) {
+        row("Mline classes covered", [](const RunStats &s) {
+            return s.coverageTracked
+                       ? std::to_string(s.coveredClasses)
+                       : std::string("-");
+        });
+        row("- Early-stopped programs", [](const RunStats &s) {
+            return s.coverageTracked ? std::to_string(s.earlyStopped)
+                                     : std::string("-");
+        });
+    }
+
     // Resilience rows appear only when some campaign ran under a
     // fault plan, keeping the fault-free table in the paper layout.
     bool any_faults = false;
@@ -93,6 +117,9 @@ renderCampaignTable(const std::vector<ColumnMeta> &metas,
         row("- Dropped db writes", [](const RunStats &s) {
             return std::to_string(s.dbWriteDrops);
         });
+        row("- Dropped ledger merges", [](const RunStats &s) {
+            return std::to_string(s.ledgerMergeDrops);
+        });
     }
     return t;
 }
@@ -106,6 +133,13 @@ renderResilienceSummary(const RunStats &stats)
            ", degraded outcomes: " + std::to_string(stats.degraded) +
            ", dropped db writes: " +
            std::to_string(stats.dbWriteDrops) + "\n";
+    if (stats.ledgerMergeDrops > 0 || stats.schedulerDegraded)
+        out += "dropped ledger merges: " +
+               std::to_string(stats.ledgerMergeDrops) +
+               (stats.schedulerDegraded
+                    ? " (adaptive scheduling degraded to uniform)"
+                    : "") +
+               "\n";
     if (!stats.quarantinedPrograms.empty()) {
         out += "quarantined programs (" +
                std::to_string(stats.quarantinedPrograms.size()) + "):";

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Campaign-wide coverage ledger.
+ *
+ * The supporting models Mpc/Mline (Sections 4.1, 5.4) exist to *drive
+ * coverage* — of path pairs and of cache-set-index classes — but the
+ * pipeline consumes them one test at a time and nothing used to
+ * accumulate campaign-wide: the budget was spent uniformly no matter
+ * what was already covered.  The ledger closes that loop.  It accounts
+ * coverage *atoms*:
+ *
+ *  - path pairs exercised per template (how often each structurally
+ *    compatible (p1, p2) pair produced an executed experiment);
+ *  - `Mline` cache-set classes hit, against the geometry's universe of
+ *    `numSets` classes, plus the draws spent targeting each class
+ *    (including unsatisfiable redraws) — the per-atom cost;
+ *  - template x model verdict outcomes (experiments, counterexamples,
+ *    inconclusive, indistinguishable);
+ *  - per-atom solver cost in seconds (registry-clock time of the SMT
+ *    stage attributed to the drawn classes, so it is deterministic
+ *    under the metrics registry's deterministic clock).
+ *
+ * Determinism contract (mirrors support/metrics and core/expdb): each
+ * program task fills a private ProgramDelta; the pipeline merges the
+ * deltas **in program-index order** on the merge thread, so the ledger
+ * — and its exported JSON — is byte-identical for any thread count.
+ * `merge()` is nevertheless internally synchronized so tests and
+ * benches may also feed a shared ledger directly.
+ *
+ * Export: `toJson` renders a snapshot with schema "scamv-coverage-v1"
+ * (sorted keys, `%.17g` doubles — structurally equal snapshots render
+ * to byte-identical strings); the pipeline writes it to the path in
+ * the `SCAMV_COVERAGE_FILE` environment variable after each campaign.
+ *
+ * Failure model: `merge()` is a fault-injection site
+ * ("cover.ledger_merge", see support/faults.hh).  An injected merge
+ * failure drops the delta and returns false; the adaptive scheduler
+ * reacts by degrading to uniform scheduling for the rest of the
+ * campaign (counted as `cover.degraded`) instead of planning rounds
+ * from a ledger it can no longer trust.
+ */
+
+#ifndef SCAMV_COVER_LEDGER_HH
+#define SCAMV_COVER_LEDGER_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace scamv::cover {
+
+/** Accounting of one Mline set-index class (one coverage atom). */
+struct ClassStats {
+    /** Executed experiments with this class pinned. */
+    std::int64_t hits = 0;
+    /** Coverage-constraint draws targeting the class (incl. unsat
+     *  redraws) — the tests spent on the atom. */
+    std::int64_t draws = 0;
+    /** SMT-stage seconds attributed to the class (registry clock). */
+    double solverSeconds = 0.0;
+
+    bool operator==(const ClassStats &) const = default;
+};
+
+/** Verdict tally of one template x model cell. */
+struct VerdictCounts {
+    std::int64_t experiments = 0;
+    std::int64_t counterexamples = 0;
+    std::int64_t inconclusive = 0;
+    std::int64_t indistinguishable = 0;
+
+    bool operator==(const VerdictCounts &) const = default;
+};
+
+/** All coverage atoms of one template. */
+struct TemplateCoverage {
+    /** Mline class universe (geometry numSets; 0 = Pc-only campaign,
+     *  no line tracking). */
+    std::uint64_t universe = 0;
+    /** Class id -> stats, only ids that were ever drawn. */
+    std::map<int, ClassStats> classes;
+    /** "pathId1|pathId2" -> executed experiments of that pair. */
+    std::map<std::string, std::int64_t> pathPairs;
+    /** Model name -> verdict outcomes. */
+    std::map<std::string, VerdictCounts> models;
+
+    /** @return distinct classes with at least one hit. */
+    std::int64_t coveredClasses() const;
+
+    bool operator==(const TemplateCoverage &) const = default;
+};
+
+/** Plain-data copy of the ledger: sorted maps, comparable. */
+struct Snapshot {
+    std::map<std::string, TemplateCoverage> templates;
+
+    bool operator==(const Snapshot &) const = default;
+};
+
+/**
+ * One program task's coverage contribution.  Pure output of the task
+ * (like core ProgramOutcome); the merge thread folds deltas in
+ * program-index order.
+ */
+struct ProgramDelta {
+    std::string templ; ///< template name ("Template A", "Stride", ...)
+    std::string model; ///< model under validation ("Mct", ...)
+    std::uint64_t universe = 0;
+    std::map<int, ClassStats> classes;
+    std::map<std::string, std::int64_t> pathPairs;
+    VerdictCounts verdicts;
+
+    bool empty() const;
+
+    /** Count one coverage-constraint draw of `cls`. */
+    void countDraw(int cls);
+    /** Count one executed experiment pinned to `cls`. */
+    void countHit(int cls);
+    /** Charge `seconds` of SMT time to `cls`. */
+    void chargeSolver(int cls, double seconds);
+};
+
+/** The campaign-wide coverage ledger. */
+class CoverageLedger
+{
+  public:
+    /**
+     * Fold one program's delta into the ledger (thread-safe).
+     * @return false when the write is dropped by an injected
+     *         "cover.ledger_merge" fault (see support/faults.hh); the
+     *         delta is lost and the caller should degrade adaptive
+     *         scheduling to uniform.
+     */
+    bool merge(const ProgramDelta &delta);
+
+    /** Copy out the current state (thread-safe). */
+    Snapshot snapshot() const;
+
+    /** Drop everything (for reuse across campaigns in tests). */
+    void clear();
+
+  private:
+    mutable std::mutex m;
+    Snapshot state;
+};
+
+/**
+ * Render a snapshot as JSON (schema "scamv-coverage-v1"): sorted
+ * keys, `%.17g` doubles — structurally equal snapshots render to
+ * byte-identical strings.
+ */
+std::string toJson(const Snapshot &snap);
+
+/** Write toJson(snap) to a file. @return success. */
+bool writeJson(const Snapshot &snap, const std::string &path);
+
+} // namespace scamv::cover
+
+#endif // SCAMV_COVER_LEDGER_HH

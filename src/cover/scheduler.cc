@@ -1,0 +1,234 @@
+#include "cover/scheduler.hh"
+
+#include <algorithm>
+
+namespace scamv::cover {
+
+namespace {
+
+/** splitmix64 finalizer — the same avalanche as deriveProgramSeed
+ *  and the fault injector, so tie-breaks are seed-stable but
+ *  uncorrelated with either stream. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+tieBreak(std::uint64_t seed, int round, int cls)
+{
+    return mix(seed ^ (static_cast<std::uint64_t>(round) << 32) ^
+               static_cast<std::uint64_t>(cls));
+}
+
+/** A class is exhausted when it keeps drawing unsat: enough draws,
+ *  never a hit. */
+bool
+exhausted(const ClassStats &s, const SchedulerConfig &cfg)
+{
+    return s.hits == 0 && s.draws >= cfg.maxClassDraws;
+}
+
+/** Universe for a template cell: what the ledger recorded, else the
+ *  campaign geometry. */
+std::uint64_t
+universeOf(const TemplateCoverage &cell, std::uint64_t numSets)
+{
+    return cell.universe ? cell.universe : numSets;
+}
+
+bool
+saturatedFor(const TemplateCoverage &cell, std::uint64_t numSets,
+             const SchedulerConfig &cfg)
+{
+    std::uint64_t universe = universeOf(cell, numSets);
+    if (universe == 0)
+        return false;
+    for (std::uint64_t cls = 0; cls < universe; ++cls) {
+        auto it = cell.classes.find(static_cast<int>(cls));
+        if (it == cell.classes.end())
+            return false; // never drawn: neither covered nor exhausted
+        if (it->second.hits == 0 && !exhausted(it->second, cfg))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+RoundPlan
+planRound(const Snapshot &snap, const std::string &templ,
+          std::uint64_t campaign_seed, int round, std::uint64_t numSets,
+          const SchedulerConfig &cfg)
+{
+    RoundPlan plan;
+    if (numSets == 0)
+        return plan;
+
+    static const TemplateCoverage kEmpty;
+    auto it = snap.templates.find(templ);
+    const TemplateCoverage &cell =
+        it == snap.templates.end() ? kEmpty : it->second;
+    std::uint64_t universe = universeOf(cell, numSets);
+
+    struct Key {
+        int cls;
+        std::int64_t hits;
+        std::int64_t draws;
+        std::uint64_t tie;
+    };
+    std::vector<Key> keys;
+    keys.reserve(universe);
+    for (std::uint64_t u = 0; u < universe; ++u) {
+        int cls = static_cast<int>(u);
+        ClassStats stats;
+        auto c = cell.classes.find(cls);
+        if (c != cell.classes.end())
+            stats = c->second;
+        if (exhausted(stats, cfg))
+            continue;
+        keys.push_back({cls, stats.hits, stats.draws,
+                        tieBreak(campaign_seed, round, cls)});
+    }
+    std::sort(keys.begin(), keys.end(), [](const Key &a, const Key &b) {
+        if (a.hits != b.hits)
+            return a.hits < b.hits;
+        if (a.draws != b.draws)
+            return a.draws < b.draws;
+        if (a.tie != b.tie)
+            return a.tie < b.tie;
+        return a.cls < b.cls;
+    });
+    plan.classOrder.reserve(keys.size());
+    for (const Key &k : keys)
+        plan.classOrder.push_back(k.cls);
+    plan.saturated = saturatedFor(cell, numSets, cfg);
+    return plan;
+}
+
+int
+planClass(const RoundPlan &plan, int slot, int draw, int stride)
+{
+    if (plan.classOrder.empty())
+        return -1;
+    if (stride < 1)
+        stride = 1;
+    std::size_t n = plan.classOrder.size();
+    std::size_t idx = (static_cast<std::size_t>(slot) +
+                       static_cast<std::size_t>(draw) *
+                           static_cast<std::size_t>(stride)) % n;
+    return plan.classOrder[idx];
+}
+
+std::vector<double>
+templateWeights(const Snapshot &snap,
+                const std::vector<std::string> &templates,
+                std::uint64_t numSets, const SchedulerConfig &cfg)
+{
+    std::vector<double> weights;
+    weights.reserve(templates.size());
+    for (const std::string &templ : templates) {
+        auto it = snap.templates.find(templ);
+        if (it == snap.templates.end()) {
+            // Nothing known: maximum urgency.
+            weights.push_back(2.0);
+            continue;
+        }
+        const TemplateCoverage &cell = it->second;
+        std::uint64_t universe = universeOf(cell, numSets);
+        bool decided = false;
+        for (const auto &[model, v] : cell.models)
+            decided |= v.counterexamples > 0;
+        if (universe && saturatedFor(cell, numSets, cfg)) {
+            // Class universe saturated: only worth revisiting while
+            // the validation question is still open.
+            weights.push_back(decided ? 0.0 : cfg.decidedWeight);
+            continue;
+        }
+        double uncovered = 1.0;
+        if (universe) {
+            uncovered = static_cast<double>(
+                            static_cast<std::int64_t>(universe) -
+                            cell.coveredClasses()) /
+                        static_cast<double>(universe);
+            if (uncovered < 0.0)
+                uncovered = 0.0;
+        }
+        double w = 1.0 + uncovered;
+        if (decided)
+            w *= cfg.decidedWeight;
+        weights.push_back(w);
+    }
+    return weights;
+}
+
+std::vector<int>
+weightedAssignment(const std::vector<double> &weights, int slots)
+{
+    std::vector<int> order;
+    if (weights.empty() || slots <= 0)
+        return order;
+
+    double total = 0.0;
+    for (double w : weights)
+        total += w > 0.0 ? w : 0.0;
+    std::vector<double> quota(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        quota[i] = total > 0.0
+                       ? slots * (weights[i] > 0.0 ? weights[i] : 0.0) /
+                             total
+                       : static_cast<double>(slots) / weights.size();
+    }
+
+    // Largest-remainder apportionment, ties to the lower index.
+    std::vector<int> count(weights.size());
+    int assigned = 0;
+    for (std::size_t i = 0; i < quota.size(); ++i) {
+        count[i] = static_cast<int>(quota[i]);
+        assigned += count[i];
+    }
+    std::vector<std::size_t> by_rem(quota.size());
+    for (std::size_t i = 0; i < by_rem.size(); ++i)
+        by_rem[i] = i;
+    std::stable_sort(by_rem.begin(), by_rem.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return quota[a] - count[a] > quota[b] - count[b];
+                     });
+    for (std::size_t k = 0; assigned < slots; k = (k + 1) % by_rem.size()) {
+        ++count[by_rem[k]];
+        ++assigned;
+    }
+
+    // Interleave round-robin so no prefix of the round is
+    // single-template.
+    order.reserve(slots);
+    while (static_cast<int>(order.size()) < slots) {
+        for (std::size_t i = 0; i < count.size(); ++i) {
+            if (count[i] > 0) {
+                --count[i];
+                order.push_back(static_cast<int>(i));
+            }
+        }
+    }
+    return order;
+}
+
+int
+roundSizeFor(int programs)
+{
+    // Replan every few programs on small campaigns, amortize planning
+    // on big ones.  Thread count must never appear here: the round
+    // partition is part of the deterministic schedule.
+    int size = programs / 5;
+    if (size < 2)
+        size = 2;
+    if (size > 16)
+        size = 16;
+    return size;
+}
+
+} // namespace scamv::cover

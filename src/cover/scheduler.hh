@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Adaptive campaign scheduler: deterministic round planning over
+ * coverage-ledger snapshots.
+ *
+ * With `SCAMV_SCHEDULE=adaptive` the pipeline spends its program
+ * budget in rounds instead of one uniform batch.  Before each round
+ * the scheduler reads the ledger and builds a `RoundPlan` per
+ * template:
+ *
+ *  - **Least-covered-first class order.**  The `Mline` redraw list is
+ *    every non-exhausted class of the universe sorted by (hits asc,
+ *    draws asc, seeded tie-break): the classes the campaign has seen
+ *    least come first, replacing the uniform random draw.  Ties are
+ *    broken by a splitmix64 hash of (campaign seed, round, class), so
+ *    the order is a pure function of campaign coordinates —
+ *    byte-identical for any thread count — while still varying across
+ *    rounds.
+ *  - **Saturation early-stop.**  A class is *exhausted* after
+ *    `maxClassDraws` hitless draws (its constraint keeps coming back
+ *    unsatisfiable for this template's relations).  When every class
+ *    of the universe is covered or exhausted the plan is `saturated`
+ *    and the pipeline stops spending programs on the template.
+ *  - **Template weighting.**  For multi-template campaigns,
+ *    `templateWeights` steers the remaining budget toward templates
+ *    that are undecided (no counterexample yet) and low-coverage;
+ *    saturated-and-decided templates get zero weight.
+ *    `weightedAssignment` turns the weights into a deterministic
+ *    per-slot template choice (largest-remainder apportionment).
+ *
+ * Program tasks consume a plan through `planClass`: slot `s`'s `k`-th
+ * draw walks the class order stratified by slot, so concurrent
+ * programs of one round target *different* least-covered classes
+ * instead of piling onto the same one.  Everything here is a pure
+ * function of (snapshot, seed, round); no RNG state is shared with
+ * the program tasks, which is what keeps adaptive campaigns
+ * deterministic (see DESIGN.md §10).
+ */
+
+#ifndef SCAMV_COVER_SCHEDULER_HH
+#define SCAMV_COVER_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cover/ledger.hh"
+
+namespace scamv::cover {
+
+/** Scheduler tunables. */
+struct SchedulerConfig {
+    /** Hitless draws before a class counts as exhausted. */
+    std::int64_t maxClassDraws = 3;
+    /** Weight multiplier for templates that already found a
+     *  counterexample (decided: budget is better spent elsewhere). */
+    double decidedWeight = 0.25;
+};
+
+/** One round's class-selection plan for one template. */
+struct RoundPlan {
+    /** Redraw list, least-covered-first; empty when the template has
+     *  no Mline universe (Pc-only) or everything is exhausted. */
+    std::vector<int> classOrder;
+    /** Every class of the universe is covered or exhausted. */
+    bool saturated = false;
+};
+
+/**
+ * Plan one round for `templ` from a ledger snapshot.  Pure function
+ * of its arguments; `numSets` is the class universe (0 disables line
+ * planning and never saturates).
+ */
+RoundPlan planRound(const Snapshot &snap, const std::string &templ,
+                    std::uint64_t campaign_seed, int round,
+                    std::uint64_t numSets,
+                    const SchedulerConfig &cfg = {});
+
+/**
+ * The class slot `slot`'s `draw`-th coverage draw should target:
+ * walks `plan.classOrder` starting at `slot`, striding by `stride`
+ * (the round size), so the programs of one round fan out over
+ * distinct least-covered classes.  @return -1 on an empty plan.
+ */
+int planClass(const RoundPlan &plan, int slot, int draw, int stride);
+
+/**
+ * Per-template budget weights for the next round, in `templates`
+ * order: 1 + uncovered-fraction for undecided templates, scaled by
+ * `cfg.decidedWeight` once a template has a counterexample, zero once
+ * it is saturated (covered or exhausted universe).  Templates absent
+ * from the snapshot get the maximum weight (nothing known yet).
+ */
+std::vector<double> templateWeights(const Snapshot &snap,
+                                    const std::vector<std::string> &templates,
+                                    std::uint64_t numSets,
+                                    const SchedulerConfig &cfg = {});
+
+/**
+ * Apportion `slots` round slots over `weights` deterministically
+ * (largest remainder, ties to the lower index) and @return the
+ * template index for each slot, interleaved round-robin so no prefix
+ * of the round is single-template.  All-zero weights fall back to
+ * uniform weights.
+ */
+std::vector<int> weightedAssignment(const std::vector<double> &weights,
+                                    int slots);
+
+/**
+ * Round size for a campaign of `programs` programs: a pure function
+ * of the budget (never of the thread count — the round partition must
+ * be identical for any SCAMV_THREADS).  Small campaigns plan every
+ * few programs; large ones amortize planning over bigger rounds.
+ */
+int roundSizeFor(int programs);
+
+} // namespace scamv::cover
+
+#endif // SCAMV_COVER_SCHEDULER_HH

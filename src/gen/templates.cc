@@ -24,6 +24,24 @@ templateName(TemplateKind kind)
     return "?";
 }
 
+std::optional<TemplateKind>
+templateFromName(std::string_view name)
+{
+    for (TemplateKind kind : allTemplates())
+        if (name == templateName(kind))
+            return kind;
+    return std::nullopt;
+}
+
+const std::vector<TemplateKind> &
+allTemplates()
+{
+    static const std::vector<TemplateKind> kinds{
+        TemplateKind::Stride, TemplateKind::A, TemplateKind::B,
+        TemplateKind::C, TemplateKind::D};
+    return kinds;
+}
+
 ProgramGenerator::ProgramGenerator(TemplateKind kind, std::uint64_t seed,
                                    const GeneratorConfig &config)
     : templateKind(kind), cfg(config), rng(seed)

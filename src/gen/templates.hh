@@ -31,7 +31,10 @@
 #ifndef SCAMV_GEN_TEMPLATES_HH
 #define SCAMV_GEN_TEMPLATES_HH
 
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "bir/bir.hh"
 #include "support/rng.hh"
@@ -43,6 +46,12 @@ enum class TemplateKind { Stride, A, B, C, D };
 
 /** @return the paper's name ("Stride", "Template A", ...). */
 const char *templateName(TemplateKind kind);
+
+/** @return the template with the given paper name, if any. */
+std::optional<TemplateKind> templateFromName(std::string_view name);
+
+/** @return every template, in enum order. */
+const std::vector<TemplateKind> &allTemplates();
 
 /** Generator configuration. */
 struct GeneratorConfig {

@@ -120,7 +120,7 @@ RelationSynthesizer::formulaFor(const PathPair &pair) const
     return f;
 }
 
-std::optional<Expr>
+std::optional<LineCoverageDraw>
 RelationSynthesizer::lineCoverageConstraint(const PathPair &pair,
                                             Rng &rng) const
 {
@@ -128,18 +128,42 @@ RelationSynthesizer::lineCoverageConstraint(const PathPair &pair,
     const PathResult &b = p2[pair.idx2];
     if (a.memAddrs.empty() && b.memAddrs.empty())
         return std::nullopt;
-    Expr acc = ctx.tru();
-    if (!a.memAddrs.empty()) {
-        const std::uint64_t l1 = rng.below(cfg.geom.numSets);
-        acc = ctx.land(acc, ctx.eq(cfg.geom.setExpr(ctx, a.memAddrs[0]),
-                                   ctx.bv(l1)));
+    // Draw order (s1 first, each state only when it accesses memory)
+    // is load-bearing: it keeps the rng sequence — and hence every
+    // pre-existing campaign — byte-identical.
+    int cls1 = -1, cls2 = -1;
+    if (!a.memAddrs.empty())
+        cls1 = static_cast<int>(rng.below(cfg.geom.numSets));
+    if (!b.memAddrs.empty())
+        cls2 = static_cast<int>(rng.below(cfg.geom.numSets));
+    return lineCoverageConstraintFor(pair, cls1, cls2);
+}
+
+std::optional<LineCoverageDraw>
+RelationSynthesizer::lineCoverageConstraintFor(const PathPair &pair,
+                                               int cls1, int cls2) const
+{
+    const PathResult &a = p1[pair.idx1];
+    const PathResult &b = p2[pair.idx2];
+    if (a.memAddrs.empty() && b.memAddrs.empty())
+        return std::nullopt;
+    LineCoverageDraw draw;
+    draw.constraint = ctx.tru();
+    if (!a.memAddrs.empty() && cls1 >= 0) {
+        draw.class1 = cls1;
+        draw.constraint = ctx.land(
+            draw.constraint,
+            ctx.eq(cfg.geom.setExpr(ctx, a.memAddrs[0]),
+                   ctx.bv(static_cast<std::uint64_t>(cls1))));
     }
-    if (!b.memAddrs.empty()) {
-        const std::uint64_t l2 = rng.below(cfg.geom.numSets);
-        acc = ctx.land(acc, ctx.eq(cfg.geom.setExpr(ctx, b.memAddrs[0]),
-                                   ctx.bv(l2)));
+    if (!b.memAddrs.empty() && cls2 >= 0) {
+        draw.class2 = cls2;
+        draw.constraint = ctx.land(
+            draw.constraint,
+            ctx.eq(cfg.geom.setExpr(ctx, b.memAddrs[0]),
+                   ctx.bv(static_cast<std::uint64_t>(cls2))));
     }
-    return acc;
+    return draw;
 }
 
 std::optional<Expr>

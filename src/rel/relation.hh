@@ -46,6 +46,13 @@ struct PathPair {
     bool refinedTriviallyDiffer = false;
 };
 
+/** One Mline coverage draw: the constraint plus the classes it pins. */
+struct LineCoverageDraw {
+    expr::Expr constraint = nullptr;
+    int class1 = -1; ///< set-index class pinned for s1 (-1: no access)
+    int class2 = -1; ///< set-index class pinned for s2 (-1: no access)
+};
+
 /** Synthesis options. */
 struct RelationConfig {
     /** Assert that RefinedOnly observations differ (Section 3). */
@@ -77,11 +84,23 @@ class RelationSynthesizer
     /**
      * Mline support-model constraint (Section 4.1.2): pins the cache
      * set index of the first architectural access of each state to a
-     * randomly drawn coverage class.  @return nullopt if the pair's
-     * paths perform no memory access.
+     * randomly drawn coverage class.  The drawn class ids are returned
+     * alongside the constraint so callers can account them
+     * campaign-wide (src/cover).  @return nullopt if the pair's paths
+     * perform no memory access.
      */
-    std::optional<expr::Expr> lineCoverageConstraint(const PathPair &pair,
-                                                     Rng &rng) const;
+    std::optional<LineCoverageDraw>
+    lineCoverageConstraint(const PathPair &pair, Rng &rng) const;
+
+    /**
+     * Like lineCoverageConstraint, but pinning explicitly chosen
+     * classes (`cls1` for s1, `cls2` for s2) instead of drawing
+     * randomly — the adaptive scheduler's least-covered-first path.
+     * A negative class leaves that state unconstrained.
+     */
+    std::optional<LineCoverageDraw>
+    lineCoverageConstraintFor(const PathPair &pair, int cls1,
+                              int cls2) const;
 
     /**
      * Training-state formula (Section 5.3): the path condition, over

@@ -36,6 +36,7 @@ siteName(Site site)
       case Site::DbWrite: return "db_write";
       case Site::TaskAbort: return "task_abort";
       case Site::QcacheCorrupt: return "qcache_corrupt";
+      case Site::CoverLedgerMerge: return "cover.ledger_merge";
     }
     return "?";
 }

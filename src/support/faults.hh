@@ -53,10 +53,11 @@ enum class Site : int {
     DbWrite,        ///< ExperimentDb::add write failure
     TaskAbort,      ///< program task dies with an exception
     QcacheCorrupt,  ///< qcache::QueryCache persisted record corruption
+    CoverLedgerMerge, ///< cover::CoverageLedger::merge drops a delta
 };
 
 /** Number of sites (array sizing). */
-constexpr int kSiteCount = static_cast<int>(Site::QcacheCorrupt) + 1;
+constexpr int kSiteCount = static_cast<int>(Site::CoverLedgerMerge) + 1;
 
 /** @return the canonical (SCAMV_FAULT_PLAN) name of a site. */
 const char *siteName(Site site);

@@ -164,7 +164,9 @@ TEST(Relation, LineCoverageConstraintPinsSetIndex)
     Rng rng(3);
     auto cov = s.rel->lineCoverageConstraint(s.rel->pairs()[0], rng);
     ASSERT_TRUE(cov.has_value());
-    Expr f = s.ctx.land(s.rel->formulaFor(s.rel->pairs()[0]), *cov);
+    EXPECT_GE(cov->class1, 0); // the load's class id is reported back
+    Expr f = s.ctx.land(s.rel->formulaFor(s.rel->pairs()[0]),
+                        cov->constraint);
     smt::SmtSolver solver(s.ctx, f);
     // The sampled class may contradict the relation (e.g. both pinned
     // inside AR with different addresses); retry a few draws.
@@ -174,11 +176,31 @@ TEST(Relation, LineCoverageConstraintPinsSetIndex)
         auto cov2 = s.rel->lineCoverageConstraint(s.rel->pairs()[0], rng);
         smt::SmtSolver s2(s.ctx,
                           s.ctx.land(s.rel->formulaFor(s.rel->pairs()[0]),
-                                     *cov2));
+                                     cov2->constraint));
         o = s2.solve();
         ++tries;
     }
     EXPECT_EQ(o, smt::Outcome::Sat);
+}
+
+TEST(Relation, LineCoverageConstraintForPinsChosenClass)
+{
+    // The explicit-class overload pins exactly the class the adaptive
+    // scheduler asked for: the solved model's first access falls into
+    // that set index.
+    Synth s("ldr x2, [x0]\nret\n", obs::ModelKind::Mpart,
+            obs::ModelKind::MpartRefined);
+    obs::CacheGeometry geom;
+    auto cov =
+        s.rel->lineCoverageConstraintFor(s.rel->pairs()[0], 5, 5);
+    ASSERT_TRUE(cov.has_value());
+    EXPECT_EQ(cov->class1, 5);
+    smt::SmtSolver solver(
+        s.ctx, s.ctx.land(s.rel->formulaFor(s.rel->pairs()[0]),
+                          cov->constraint));
+    ASSERT_EQ(solver.solve(), smt::Outcome::Sat);
+    auto model = solver.model();
+    EXPECT_EQ(geom.setOf(model.bv("x0_1")), 5u);
 }
 
 TEST(Relation, NoMemoryAccessNoLineCoverage)
