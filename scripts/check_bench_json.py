@@ -14,7 +14,12 @@ Three shapes are recognized (auto-detected per file):
  - ``scamv-coverage-v1`` from src/cover (SCAMV_COVERAGE_FILE or
    bench/coverage_report.hh): per-template coverage-ledger atoms;
    when the bench's ``comparison`` section is present, the adaptive
-   scheduler must beat uniform by its declared ``min_ratio``.
+   scheduler must beat uniform by its declared ``min_ratio``;
+ - ``scamv-hotpath-v1`` from bench/hotpath_report.hh: hot-path
+   engine comparison (batched simulation + solver modes); every mode
+   must carry p50 <= p99 per-program latencies, the end-to-end
+   speedup must meet its declared ``min_speedup`` and the modes must
+   agree byte-for-byte (``deterministic``).
 
 Exit status is non-zero if any file is missing, unparseable or
 malformed, which is what makes the CI bench-smoke job a real gate.
@@ -187,6 +192,36 @@ def check_coverage(path, doc):
           f"{len(templates)} templates)")
 
 
+def check_hotpath(path, doc):
+    modes = doc.get("modes")
+    if not isinstance(modes, dict) or not modes:
+        fail(path, "no modes recorded")
+    for name, entry in modes.items():
+        if not isinstance(entry, dict):
+            fail(path, f"mode {name!r} is not an object")
+        if not isinstance(entry.get("solver"), str):
+            fail(path, f"mode {name!r}: missing solver name")
+        for key in ("sim_batch", "wall_s", "p50_program_s",
+                    "p99_program_s", "experiments", "counterexamples"):
+            if not is_num(entry.get(key)) or entry[key] < 0:
+                fail(path, f"mode {name!r}: {key!r} is not a "
+                           "non-negative number")
+        if entry["p50_program_s"] > entry["p99_program_s"]:
+            fail(path, f"mode {name!r}: p50 {entry['p50_program_s']} "
+                       f"exceeds p99 {entry['p99_program_s']}")
+    speedup = doc.get("speedup")
+    min_speedup = doc.get("min_speedup")
+    if not is_num(speedup) or not is_num(min_speedup):
+        fail(path, "missing numeric speedup/min_speedup")
+    if speedup < min_speedup:
+        fail(path, f"speedup {speedup} < {min_speedup} "
+                   "(hot-path engine is not paying for itself)")
+    if doc.get("deterministic") is not True:
+        fail(path, "solver modes disagree (deterministic != true)")
+    print(f"{path}: OK (hotpath speedup {speedup:.2f}x, "
+          f"{len(modes)} modes, deterministic)")
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -203,6 +238,8 @@ def check_file(path):
         check_qcache(path, doc)
     elif doc.get("schema") == "scamv-coverage-v1":
         check_coverage(path, doc)
+    elif doc.get("schema") == "scamv-hotpath-v1":
+        check_hotpath(path, doc)
     elif "campaigns" in doc:
         check_parallel(path, doc)
     else:

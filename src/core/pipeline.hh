@@ -55,6 +55,7 @@
 #include "gen/templates.hh"
 #include "harness/platform.hh"
 #include "obs/models.hh"
+#include "smt/modes.hh"
 #include "support/faults.hh"
 #include "support/metrics.hh"
 
@@ -150,6 +151,20 @@ struct PipelineConfig {
     cover::CoverageLedger *coverageLedger = nullptr;
 
     SolveStrategy strategy = SolveStrategy::Canonical;
+    /**
+     * How the per-pair SMT enumeration drives the solver (see
+     * smt/modes.hh): `Incremental` reuses one live solver per pair,
+     * `Oneshot` rebuilds a fresh solver per test by op-log replay
+     * (the benchmark baseline), `Portfolio` adds a repair-sampler
+     * rescue of genuine Unknown outcomes with fixed arbitration
+     * order.  Applies to the Canonical strategy only — RandomPhases
+     * consumes rng for phase selection and Sampler has its own path —
+     * other strategies silently use Incremental.  Unset resolves from
+     * the SCAMV_SOLVER environment variable (default incremental).
+     * All modes produce byte-identical campaign artifacts (ctest
+     * enforces this; see ARCHITECTURE.md, determinism invariants).
+     */
+    std::optional<smt::SolverMode> solverMode;
     std::int64_t conflictBudget = 200000;
     /** Redraws of an unsatisfiable Mline coverage class per test. */
     int coverageRetries = 8;

@@ -101,9 +101,12 @@ struct Snapshot {
 /**
  * One program task's coverage contribution.  Pure output of the task
  * (like core ProgramOutcome); the merge thread folds deltas in
- * program-index order.
+ * program-index order.  Cache-line aligned: the deltas live in one
+ * per-campaign array indexed by program, so padding keeps a worker
+ * writing its delta from false-sharing with the neighbouring tasks'
+ * slots.
  */
-struct ProgramDelta {
+struct alignas(64) ProgramDelta {
     std::string templ; ///< template name ("Template A", "Stride", ...)
     std::string model; ///< model under validation ("Mct", ...)
     std::uint64_t universe = 0;

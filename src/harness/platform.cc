@@ -1,5 +1,6 @@
 #include "harness/platform.hh"
 
+#include "support/env.hh"
 #include "support/faults.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -22,7 +23,11 @@ inputFromAssignment(const expr::Assignment &a, const std::string &suffix)
 }
 
 Platform::Platform(const PlatformConfig &config, std::uint64_t noise_seed)
-    : cfg(config), noiseRng(noise_seed)
+    : cfg(config), noiseRng(noise_seed),
+      batched(config.simBatch >= 0
+                  ? config.simBatch != 0
+                  : envLong("SCAMV_SIM_BATCH", 0, 1)
+                            .value_or(1) != 0)
 {}
 
 void
@@ -65,7 +70,7 @@ Platform::measure(hw::Core &core, const bir::Program &program,
         }
     }
 
-    core.run(program, input.regs);
+    core.run(program, input.regs, runScratch);
 
     // System interference: a stray access to a random line.
     if (cfg.noiseProbability > 0.0 &&
@@ -140,10 +145,31 @@ Platform::runExperiment(const bir::Program &program, const TestCase &tc,
     result.totalReps = cfg.repeats;
     int clean_differing = 0;
 
+    // Batched path: one arena-backed core for all repetitions, reset
+    // in place per repetition.  The rebuild order (destroy the old
+    // core, rewind the arena, reconstruct) keeps arena usage bounded
+    // by one core's footprint; the arena keeps its blocks, so
+    // steady-state experiments allocate nothing.
+    std::optional<hw::Core> local;
+    if (batched) {
+        batchCore.reset();
+        simArena.reset();
+        batchCore =
+            std::make_unique<hw::Core>(cfg.core, cfg.boardSeed, &simArena);
+    }
+
     for (int rep = 0; rep < cfg.repeats; ++rep) {
         const std::uint64_t faults_before = faults::injectedCount();
-        hw::Core core(cfg.core, cfg.boardSeed);
-        core.predictor().reset();
+        hw::Core *core_p;
+        if (batched) {
+            batchCore->resetMicroarch();
+            core_p = batchCore.get();
+        } else {
+            local.emplace(cfg.core, cfg.boardSeed);
+            local->predictor().reset();
+            core_p = &*local;
+        }
+        hw::Core &core = *core_p;
 
         // Branch-predictor conditioning.  With a mistraining input
         // (Section 5.3) the PHT is driven toward the *other* path so
@@ -158,7 +184,7 @@ Platform::runExperiment(const bir::Program &program, const TestCase &tc,
             core.memory().clear();
             for (const auto &[addr, val] : warmup.mem)
                 core.memory().store(addr, val);
-            core.run(program, warmup.regs);
+            core.run(program, warmup.regs, runScratch);
         }
 
         const Measurement m1 = measure(core, program, tc.s1);

@@ -21,12 +21,14 @@
 #define SCAMV_HARNESS_PLATFORM_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "expr/eval.hh"
 #include "hw/core.hh"
+#include "support/arena.hh"
 #include "support/rng.hh"
 
 namespace scamv::harness {
@@ -96,6 +98,15 @@ struct PlatformConfig {
     Channel channel = Channel::TrustZoneSnapshot;
     /** Base address of the attacker's prime array (PrimeProbe). */
     std::uint64_t attackerArrayBase = 0x4000000;
+    /**
+     * Batched simulation: reuse one arena-backed core across all
+     * repetitions of an experiment (per-repetition state reset in
+     * place) instead of constructing a fresh core per repetition.
+     * Behaviourally identical either way — every microarchitectural
+     * structure's reset() restores its constructor state.
+     * -1 = resolve from SCAMV_SIM_BATCH (default on), 0 = off, 1 = on.
+     */
+    int simBatch = -1;
 };
 
 /** Details of one experiment execution. */
@@ -158,6 +169,17 @@ class Platform
 
     PlatformConfig cfg;
     Rng noiseRng;
+
+    // Batched-simulation state.  The arena is declared before the
+    // core so the core (whose containers live in the arena) is
+    // destroyed first; runExperiment rebuilds the core per experiment
+    // in the order destroy -> arena reset -> reconstruct, which keeps
+    // arena usage bounded by a single core's footprint.
+    support::Arena simArena;
+    std::unique_ptr<hw::Core> batchCore;
+    /** Reused run-result buffer (trace capacity persists). */
+    hw::RunResult runScratch;
+    bool batched;
 };
 
 } // namespace scamv::harness

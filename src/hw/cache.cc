@@ -6,17 +6,18 @@
 
 namespace scamv::hw {
 
-Cache::Cache(const obs::CacheGeometry &geom) : geom(geom)
+Cache::Cache(const obs::CacheGeometry &geom, support::Arena *arena)
+    : geom(geom), lines(support::ArenaAllocator<Line>(arena))
 {
-    sets.assign(geom.numSets, std::vector<Line>(geom.ways));
+    lines.assign(static_cast<std::size_t>(geom.numSets) * geom.ways,
+                 Line{});
 }
 
 void
 Cache::reset()
 {
-    for (auto &set : sets)
-        for (Line &line : set)
-            line = Line{};
+    for (Line &l : lines)
+        l = Line{};
     lruClock = 0;
 }
 
@@ -25,12 +26,13 @@ Cache::access(std::uint64_t addr)
 {
     const std::uint64_t set_idx = geom.setOf(addr);
     const std::uint64_t tag = geom.tagOf(addr);
-    auto &set = sets[set_idx];
+    Line *const set = &line(set_idx, 0);
     ++lruClock;
 
-    for (Line &line : set) {
-        if (line.valid && line.tag == tag) {
-            line.lru = lruClock;
+    for (std::uint64_t w = 0; w < geom.ways; ++w) {
+        Line &l = set[w];
+        if (l.valid && l.tag == tag) {
+            l.lru = lruClock;
             ++nHits;
             return true;
         }
@@ -38,13 +40,14 @@ Cache::access(std::uint64_t addr)
     ++nMisses;
     // Allocate: pick an invalid way, else the LRU way.
     Line *victim = &set[0];
-    for (Line &line : set) {
-        if (!line.valid) {
-            victim = &line;
+    for (std::uint64_t w = 0; w < geom.ways; ++w) {
+        Line &l = set[w];
+        if (!l.valid) {
+            victim = &l;
             break;
         }
-        if (line.lru < victim->lru)
-            victim = &line;
+        if (l.lru < victim->lru)
+            victim = &l;
     }
     victim->valid = true;
     victim->tag = tag;
@@ -57,9 +60,11 @@ Cache::probe(std::uint64_t addr) const
 {
     const std::uint64_t set_idx = geom.setOf(addr);
     const std::uint64_t tag = geom.tagOf(addr);
-    for (const Line &line : sets[set_idx])
-        if (line.valid && line.tag == tag)
+    for (std::uint64_t w = 0; w < geom.ways; ++w) {
+        const Line &l = line(set_idx, w);
+        if (l.valid && l.tag == tag)
             return true;
+    }
     return false;
 }
 
@@ -68,9 +73,11 @@ Cache::flushLine(std::uint64_t addr)
 {
     const std::uint64_t set_idx = geom.setOf(addr);
     const std::uint64_t tag = geom.tagOf(addr);
-    for (Line &line : sets[set_idx])
-        if (line.valid && line.tag == tag)
-            line = Line{};
+    for (std::uint64_t w = 0; w < geom.ways; ++w) {
+        Line &l = line(set_idx, w);
+        if (l.valid && l.tag == tag)
+            l = Line{};
+    }
 }
 
 CacheState
@@ -82,9 +89,11 @@ Cache::snapshot(std::uint64_t lo_set, std::uint64_t hi_set) const
     state.reserve(hi_set - lo_set + 1);
     for (std::uint64_t s = lo_set; s <= hi_set; ++s) {
         CacheSetState tags;
-        for (const Line &line : sets[s])
-            if (line.valid)
-                tags.push_back(line.tag);
+        for (std::uint64_t w = 0; w < geom.ways; ++w) {
+            const Line &l = line(s, w);
+            if (l.valid)
+                tags.push_back(l.tag);
+        }
         std::sort(tags.begin(), tags.end());
         state.push_back(std::move(tags));
     }

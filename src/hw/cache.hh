@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/layout.hh"
+#include "support/arena.hh"
 
 namespace scamv::hw {
 
@@ -29,7 +30,14 @@ using CacheState = std::vector<CacheSetState>;
 class Cache
 {
   public:
-    explicit Cache(const obs::CacheGeometry &geom = {});
+    /**
+     * @param arena optional backing arena for the line array (batched
+     * simulation); null means ordinary heap allocation.  The arena
+     * must outlive the cache and must not be reset while the cache is
+     * alive.
+     */
+    explicit Cache(const obs::CacheGeometry &geom = {},
+                   support::Arena *arena = nullptr);
 
     /** Invalidate every line (the platform clears before each run). */
     void reset();
@@ -65,8 +73,21 @@ class Cache
         std::uint64_t lru = 0; ///< higher = more recently used
     };
 
+    Line &line(std::uint64_t set, std::uint64_t way)
+    {
+        return lines[set * geom.ways + way];
+    }
+    const Line &line(std::uint64_t set, std::uint64_t way) const
+    {
+        return lines[set * geom.ways + way];
+    }
+
     obs::CacheGeometry geom;
-    std::vector<std::vector<Line>> sets;
+    /** Flat set-major line array: index `set * ways + way`.  A single
+     * contiguous allocation (arena-backed in batch mode) instead of
+     * one vector per set — the hot access() scan walks `ways`
+     * adjacent elements. */
+    std::vector<Line, support::ArenaAllocator<Line>> lines;
     std::uint64_t lruClock = 0;
     std::uint64_t nHits = 0;
     std::uint64_t nMisses = 0;

@@ -9,10 +9,22 @@ namespace scamv::hw {
 using bir::Instr;
 using bir::InstrKind;
 
-Core::Core(const CoreConfig &config, std::uint64_t board_seed)
-    : cfg(config), dcache(config.geom), dtlb(config.tlb),
-      pf(config.prefetcher), bpred(config.predictor), mem(board_seed)
+Core::Core(const CoreConfig &config, std::uint64_t board_seed,
+           support::Arena *arena)
+    : cfg(config), dcache(config.geom, arena), dtlb(config.tlb, arena),
+      pf(config.prefetcher), bpred(config.predictor, arena),
+      mem(board_seed)
 {}
+
+void
+Core::resetMicroarch()
+{
+    dcache.reset();
+    dtlb.reset();
+    pf.reset();
+    bpred.reset();
+    mem.clear();
+}
 
 std::uint64_t
 Core::aluOp(bir::AluOp op, std::uint64_t a, std::uint64_t b) const
@@ -133,8 +145,18 @@ Core::speculate(const bir::Program &program, int wrong_pc,
 RunResult
 Core::run(const bir::Program &program, const ArchState &init)
 {
-    SCAMV_ASSERT(program.validate().empty(), "core: invalid program");
     RunResult result;
+    run(program, init, result);
+    return result;
+}
+
+void
+Core::run(const bir::Program &program, const ArchState &init,
+          RunResult &out)
+{
+    SCAMV_ASSERT(program.validate().empty(), "core: invalid program");
+    out.reset();
+    RunResult &result = out;
     const std::uint64_t cache_hits0 = dcache.hits();
     const std::uint64_t cache_misses0 = dcache.misses();
     std::array<std::uint64_t, bir::kNumRegs> regs = init.regs;
@@ -240,7 +262,6 @@ Core::run(const bir::Program &program, const ArchState &init)
         .add(result.transientLoadsIssued);
     reg.counter("hw.transient_loads.blocked")
         .add(result.transientLoadsBlocked);
-    return result;
 }
 
 std::uint64_t

@@ -92,17 +92,61 @@ struct RunResult {
     std::vector<std::uint64_t> memTrace;
     /** Transient load addresses actually issued, in order. */
     std::vector<std::uint64_t> transientTrace;
+
+    /**
+     * Zero the counters and clear (but keep the capacity of) the
+     * trace vectors, so a long-lived result buffer can be reused
+     * across batched runs without reallocating.
+     */
+    void
+    reset()
+    {
+        cycles = instructions = mispredicts = 0;
+        transientLoadsIssued = transientLoadsBlocked = 0;
+        prefetches = tlbMisses = 0;
+        finalState = ArchState{};
+        memTrace.clear();
+        transientTrace.clear();
+    }
 };
 
 /** The processor: core + cache + prefetcher + predictor + memory. */
 class Core
 {
   public:
+    /**
+     * @param arena optional backing arena for the cache lines, TLB
+     * entries and predictor PHT (batched simulation).  The arena must
+     * outlive the core and must only be reset after the core is
+     * destroyed (harness::Platform rebuilds its batch core per
+     * experiment: destroy → arena reset → reconstruct).
+     */
     explicit Core(const CoreConfig &config = {},
-                  std::uint64_t board_seed = 0xb0a2dULL);
+                  std::uint64_t board_seed = 0xb0a2dULL,
+                  support::Arena *arena = nullptr);
 
     /** Run a program from an initial register state. */
     RunResult run(const bir::Program &program, const ArchState &init);
+
+    /**
+     * Allocation-free variant: resets `out` (keeping its trace
+     * capacity) and runs into it.  Behaviourally identical to the
+     * returning overload.
+     */
+    void run(const bir::Program &program, const ArchState &init,
+             RunResult &out);
+
+    /**
+     * Restore every microarchitectural structure to its
+     * post-construction state in place: cache, TLB, prefetcher and
+     * predictor reset, memory cleared.  Equivalent to constructing a
+     * fresh Core with the same config and board seed (each
+     * component's reset() restores exactly its constructor state, and
+     * Memory junk fill is a pure function of address and board seed),
+     * but without any allocation — the batched simulation path calls
+     * this once per repetition.
+     */
+    void resetMicroarch();
 
     /**
      * Timed single load, as an attacker's measured reload: accesses

@@ -4,8 +4,10 @@
 
 namespace scamv::hw {
 
-BranchPredictor::BranchPredictor(const PredictorConfig &config)
-    : cfg(config)
+BranchPredictor::BranchPredictor(const PredictorConfig &config,
+                                 support::Arena *arena)
+    : cfg(config),
+      table(support::ArenaAllocator<std::uint8_t>(arena))
 {
     SCAMV_ASSERT((cfg.entries & (cfg.entries - 1)) == 0,
                  "PHT entries must be a power of two");

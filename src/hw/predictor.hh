@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/arena.hh"
+
 namespace scamv::hw {
 
 /** Branch predictor configuration. */
@@ -29,7 +31,10 @@ struct PredictorConfig {
 class BranchPredictor
 {
   public:
-    explicit BranchPredictor(const PredictorConfig &config = {});
+    /** @param arena optional backing arena for the PHT (see Cache);
+     * must outlive the predictor. */
+    explicit BranchPredictor(const PredictorConfig &config = {},
+                             support::Arena *arena = nullptr);
 
     /** Reset all counters to the initial value. */
     void reset();
@@ -49,7 +54,7 @@ class BranchPredictor
     std::uint32_t indexOf(std::uint64_t pc) const;
 
     PredictorConfig cfg;
-    std::vector<std::uint8_t> table;
+    std::vector<std::uint8_t, support::ArenaAllocator<std::uint8_t>> table;
     std::uint64_t nMispredicts = 0;
 };
 

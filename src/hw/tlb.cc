@@ -6,7 +6,8 @@
 
 namespace scamv::hw {
 
-Tlb::Tlb(const TlbConfig &config) : cfg(config)
+Tlb::Tlb(const TlbConfig &config, support::Arena *arena)
+    : cfg(config), table(support::ArenaAllocator<Entry>(arena))
 {
     SCAMV_ASSERT(cfg.entries > 0, "TLB needs at least one entry");
     table.resize(cfg.entries);

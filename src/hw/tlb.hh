@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/arena.hh"
+
 namespace scamv::hw {
 
 /** TLB configuration. */
@@ -35,7 +37,10 @@ using TlbState = std::vector<std::uint64_t>;
 class Tlb
 {
   public:
-    explicit Tlb(const TlbConfig &config = {});
+    /** @param arena optional backing arena for the entry table (see
+     * Cache); must outlive the TLB. */
+    explicit Tlb(const TlbConfig &config = {},
+                 support::Arena *arena = nullptr);
 
     /** Invalidate all entries. */
     void reset();
@@ -70,7 +75,7 @@ class Tlb
     }
 
     TlbConfig cfg;
-    std::vector<Entry> table;
+    std::vector<Entry, support::ArenaAllocator<Entry>> table;
     std::uint64_t lruClock = 0;
     std::uint64_t nHits = 0;
     std::uint64_t nMisses = 0;

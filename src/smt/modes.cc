@@ -1,0 +1,40 @@
+#include "smt/modes.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace scamv::smt {
+
+const char *
+solverModeName(SolverMode mode)
+{
+    switch (mode) {
+      case SolverMode::Oneshot: return "oneshot";
+      case SolverMode::Incremental: return "incremental";
+      case SolverMode::Portfolio: return "portfolio";
+    }
+    SCAMV_PANIC("unknown solver mode");
+}
+
+SolverMode
+solverModeFromEnv()
+{
+    const char *raw = std::getenv("SCAMV_SOLVER");
+    if (!raw || !*raw)
+        return SolverMode::Incremental;
+    const std::string v(raw);
+    if (v == "oneshot")
+        return SolverMode::Oneshot;
+    if (v == "incremental")
+        return SolverMode::Incremental;
+    if (v == "portfolio")
+        return SolverMode::Portfolio;
+    warn("SCAMV_SOLVER: unknown mode \"" + v +
+         "\" (expected oneshot|incremental|portfolio); using "
+         "incremental");
+    return SolverMode::Incremental;
+}
+
+} // namespace scamv::smt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Solver execution modes for the per-pair SMT enumeration.
+ *
+ * The pipeline's canonical enumeration issues a sequence of solver
+ * calls per test pair (coverage-pinned `solveWith` probes, plain
+ * `solve`, model-blocking clauses).  Three modes run that sequence:
+ *
+ *  - `Incremental` (default): one live SmtSolver per pair; every call
+ *    reuses the solver's clause database — consecutive canonical
+ *    queries differ only in assumption literals (the bit-blaster
+ *    memoizes the temporary constraint's selector literal, so a
+ *    repeated `solveWith` is a pure `solveAssuming`).
+ *  - `Oneshot`: the pre-incremental behaviour — a fresh solver per
+ *    test, brought up to date by replaying the pair's recorded op
+ *    log.  Kept as the benchmark baseline and as a cross-check that
+ *    incremental state reuse does not change any result.
+ *  - `Portfolio`: incremental solving, plus a repair-sampler scout
+ *    that attempts to rescue *genuine* Unknown outcomes (budget
+ *    exhaustion, never injected faults).  Arbitration is by fixed
+ *    order — the CDCL verdict is authoritative for Sat/Unsat and the
+ *    scout only runs after it — so the winner never depends on
+ *    wall-clock.
+ *
+ * All three modes produce byte-identical campaign artifacts (metrics
+ * JSON, coverage JSON, ExperimentDb CSV) on workloads where the scout
+ * is never consulted; ctest enforces this (see ARCHITECTURE.md,
+ * determinism invariants).
+ */
+
+#ifndef SCAMV_SMT_MODES_HH
+#define SCAMV_SMT_MODES_HH
+
+namespace scamv::smt {
+
+/** How the pipeline drives the SMT solver per test pair. */
+enum class SolverMode {
+    Oneshot,     ///< fresh solver per test, op-log replay
+    Incremental, ///< live solver reused across the pair's tests
+    Portfolio    ///< incremental + repair-sampler rescue of Unknowns
+};
+
+/** @return the mode's SCAMV_SOLVER spelling. */
+const char *solverModeName(SolverMode mode);
+
+/**
+ * Resolve the mode from `SCAMV_SOLVER`
+ * (`oneshot|incremental|portfolio`).  Unset → Incremental; an
+ * unrecognized value warns and falls back to Incremental.
+ */
+SolverMode solverModeFromEnv();
+
+} // namespace scamv::smt
+
+#endif // SCAMV_SMT_MODES_HH

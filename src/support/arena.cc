@@ -1,0 +1,68 @@
+#include "support/arena.hh"
+
+#include "support/logging.hh"
+
+namespace scamv::support {
+
+Arena::Arena(std::size_t block_bytes) : blockBytes(block_bytes)
+{
+    SCAMV_ASSERT(block_bytes > 0, "arena: zero block size");
+}
+
+Arena::Block &
+Arena::grow(std::size_t min_bytes)
+{
+    // Reuse a retained block if one is big enough, else allocate.
+    while (active < blocks.size()) {
+        Block &b = blocks[active];
+        if (b.size >= min_bytes) {
+            b.offset = 0;
+            return b;
+        }
+        ++active; // too small for this request; skip it this cycle
+    }
+    Block b;
+    b.size = min_bytes > blockBytes ? min_bytes : blockBytes;
+    b.data = std::make_unique<std::byte[]>(b.size);
+    SCAMV_ASSERT(b.data != nullptr, "arena: allocation failure");
+    capacityBytes += b.size;
+    blocks.push_back(std::move(b));
+    return blocks.back();
+}
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t alignment)
+{
+    SCAMV_ASSERT(alignment > 0 && (alignment & (alignment - 1)) == 0,
+                 "arena: alignment must be a power of two");
+    if (bytes == 0)
+        bytes = 1;
+    if (blocks.empty() || active >= blocks.size())
+        grow(bytes + alignment);
+
+    Block *b = &blocks[active];
+    auto base = reinterpret_cast<std::uintptr_t>(b->data.get());
+    std::uintptr_t p = (base + b->offset + alignment - 1) &
+                       ~static_cast<std::uintptr_t>(alignment - 1);
+    if (p + bytes > base + b->size) {
+        ++active;
+        b = &grow(bytes + alignment);
+        base = reinterpret_cast<std::uintptr_t>(b->data.get());
+        p = (base + alignment - 1) &
+            ~static_cast<std::uintptr_t>(alignment - 1);
+    }
+    b->offset = static_cast<std::size_t>(p - base) + bytes;
+    usedBytes += bytes;
+    return reinterpret_cast<void *>(p);
+}
+
+void
+Arena::reset()
+{
+    for (Block &b : blocks)
+        b.offset = 0;
+    active = 0;
+    usedBytes = 0;
+}
+
+} // namespace scamv::support

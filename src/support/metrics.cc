@@ -67,6 +67,34 @@ Histogram::bucketCount(std::size_t i) const
     return counts[i].load(std::memory_order_relaxed);
 }
 
+double
+HistogramData::quantile(double q) const
+{
+    SCAMV_ASSERT(q >= 0.0 && q <= 1.0, "quantile: q out of [0, 1]");
+    if (count == 0)
+        return 0.0;
+    // Rank of the requested sample, 1-based; q=0 maps to rank 1.
+    const double rank = q * static_cast<double>(count);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double prev = cum;
+        cum += static_cast<double>(counts[i]);
+        if (cum < rank || counts[i] == 0)
+            continue;
+        if (i >= bounds.size()) {
+            // Overflow bucket has no upper bound; clamp to the last
+            // finite bound (Prometheus convention).
+            return bounds.empty() ? 0.0 : bounds.back();
+        }
+        const double lo = i == 0 ? 0.0 : bounds[i - 1];
+        const double hi = bounds[i];
+        const double frac =
+            (rank - prev) / static_cast<double>(counts[i]);
+        return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
+
 const std::vector<double> &
 latencyBounds()
 {
@@ -290,7 +318,9 @@ toJson(const Snapshot &snap)
             out += std::to_string(h.counts[k]);
         }
         out += "], \"sum\": " + jsonDouble(h.sum) +
-               ", \"count\": " + std::to_string(h.count) + "}";
+               ", \"count\": " + std::to_string(h.count) +
+               ", \"p50\": " + jsonDouble(h.quantile(0.5)) +
+               ", \"p99\": " + jsonDouble(h.quantile(0.99)) + "}";
     }
     out += snap.histograms.empty() ? "}\n" : "\n  }\n";
     out += "}\n";

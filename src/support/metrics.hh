@@ -52,8 +52,15 @@
 
 namespace scamv::metrics {
 
-/** Monotonically increasing event count. */
-class Counter
+/**
+ * Monotonically increasing event count.
+ *
+ * Cache-line aligned: counters from one registry are allocated
+ * individually but frequently end up adjacent on the heap; padding
+ * them to a line keeps a hot per-task counter from false-sharing with
+ * its neighbours when several worker threads increment concurrently.
+ */
+class alignas(64) Counter
 {
   public:
     /** Add n (relaxed; totals are read after a barrier). */
@@ -67,8 +74,8 @@ class Counter
     std::atomic<std::uint64_t> v{0};
 };
 
-/** Settable/accumulating scalar. */
-class Gauge
+/** Settable/accumulating scalar.  Line-aligned like Counter. */
+class alignas(64) Gauge
 {
   public:
     /** Overwrite the value. */
@@ -128,6 +135,14 @@ struct HistogramData {
     std::vector<std::uint64_t> counts; ///< bounds.size() + 1 entries
     double sum = 0.0;
     std::uint64_t count = 0;
+
+    /**
+     * Estimate the q-th quantile (0 <= q <= 1) by cumulative bucket
+     * walk with linear interpolation inside the containing bucket.
+     * Samples in the overflow bucket clamp to the last bound (the
+     * usual Prometheus convention); an empty histogram returns 0.
+     */
+    double quantile(double q) const;
 
     bool operator==(const HistogramData &) const = default;
 };

@@ -1,5 +1,6 @@
 #include "sym/symexec.hh"
 
+#include <array>
 #include <functional>
 
 #include "support/logging.hh"
@@ -31,16 +32,19 @@ PathResult::pathId() const
 
 namespace {
 
-/** Mutable machine state along one symbolic path. */
+/** Mutable machine state along one symbolic path.  The register
+ * files are fixed-size arrays rather than vectors so forking a path
+ * at a branch copies flat storage instead of heap-allocating. */
 struct SymState {
-    std::vector<Expr> regs;
+    std::array<Expr, bir::kNumRegs> regs{};
     Expr mem = nullptr;
     Expr cond = nullptr;
 
     // Shadow (transient) execution state.
     bool inShadow = false;
-    std::vector<Expr> shadowRegs;
-    std::vector<bool> shadowTaint; ///< depends on a transient load result
+    std::array<Expr, bir::kNumRegs> shadowRegs{};
+    std::array<bool, bir::kNumRegs> shadowTaint{}; ///< depends on a
+                                                   ///< transient load
     int shadowLoadCount = 0;
 
     PathResult result;
@@ -97,7 +101,6 @@ class Explorer
     run(const SymNames &names)
     {
         SymState init;
-        init.regs.resize(bir::kNumRegs);
         for (int r = 0; r < bir::kNumRegs; ++r)
             init.regs[r] = ctx.bvVar(names.reg(r));
         init.mem = ctx.memVar(names.mem());
@@ -231,7 +234,7 @@ class Explorer
             // registers into the shadow file (Fig. 4).
             s.inShadow = true;
             s.shadowRegs = s.regs;
-            s.shadowTaint.assign(bir::kNumRegs, false);
+            s.shadowTaint.fill(false);
             s.shadowLoadCount = 0;
         }
 
