@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Sharded campaign bench: runs the single-process vs N-worker
+ * comparison of bench/shard_report.hh and emits `BENCH_shard.json`.
+ * Exits non-zero when the sharded run misses its end-to-end speedup
+ * gate or the coordinator merge diverges from the single-process
+ * campaign artifacts, so CI catches both scaling and determinism
+ * regressions.
+ */
+
+#include <cstdio>
+
+#include "shard_report.hh"
+
+int
+main()
+{
+    const bool ok = scamv::benchsupport::writeShardReport();
+    if (!ok)
+        std::printf("[shard] FAILED (see BENCH_shard.json)\n");
+    return ok ? 0 : 1;
+}

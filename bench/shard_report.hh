@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Shared bench helper: measure sharded campaign throughput (N
+ * concurrent workers + coordinator merge, src/shard) against the
+ * 1-process, 1-thread reference on the paper's stride workload and
+ * emit `BENCH_shard.json` (schema "scamv-shard-v1").
+ *
+ * Two configurations run the same campaign (same seed, programs,
+ * tests):
+ *
+ *  - single: one process, one thread, artifacts written via
+ *    shard::writeCampaignArtifacts — the byte-identity reference;
+ *  - sharded: kShards workers (shard::runWorker, each single-
+ *    threaded) running concurrently, then shard::mergeCampaign
+ *    folding their outputs into campaign artifacts.
+ *
+ * The report self-gates on two properties at once: the sharded run
+ * must beat the single run end-to-end (worker wall-clock plus merge)
+ * by `kMinShardSpeedup`, and every merged campaign artifact
+ * (metrics.json, coverage.json, db.csv, stats.json) must be
+ * byte-identical to the reference — the "deterministic" field, i.e.
+ * determinism invariant 8 of ARCHITECTURE.md measured rather than
+ * assumed.
+ *
+ * Shard scaling is parallelism-bound (theoretical ceiling is
+ * min(shards, cores)), so the speedup gate written to the report's
+ * "min_speedup" field adapts to the host: the full kMinShardSpeedup
+ * on >= 4 cores (CI runners), a modest win on 2-3 cores, and on a
+ * single core — where concurrent workers cannot beat one process —
+ * only a no-pathological-overhead floor.  The determinism gate never
+ * relaxes.
+ */
+
+#ifndef SCAMV_BENCH_SHARD_REPORT_HH
+#define SCAMV_BENCH_SHARD_REPORT_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/expdb.hh"
+#include "core/pipeline.hh"
+#include "shard/shard.hh"
+#include "support/stopwatch.hh"
+
+namespace scamv::benchsupport {
+
+/** Required single : sharded end-to-end wall-clock advantage on a
+ *  host with at least kShards cores. */
+inline constexpr double kMinShardSpeedup = 1.5;
+
+/** Worker fan-out measured by the report. */
+inline constexpr int kShards = 4;
+
+/** Host-adapted speedup gate (see the file comment). */
+inline double
+shardSpeedupGate(unsigned cores)
+{
+    if (cores >= 4)
+        return kMinShardSpeedup;
+    if (cores >= 2)
+        return 1.1;
+    return 0.5;
+}
+
+namespace shard_detail {
+
+inline core::PipelineConfig
+shardWorkload()
+{
+    core::PipelineConfig cfg = shard::defaultWorkload(
+        /*programs=*/std::max(16,
+                              core::scaled(64,
+                                           core::scaleFromEnv(1.0))),
+        /*tests=*/6, /*seed=*/99, /*adaptive=*/false,
+        /*line=*/false);
+    return cfg;
+}
+
+inline std::string
+readArtifact(const std::string &dir, const char *name)
+{
+    std::ifstream in(dir + "/" + name, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return in ? text.str() : std::string();
+}
+
+/** Byte-compare the campaign artifact set of two directories. */
+inline bool
+sameArtifacts(const std::string &a, const std::string &b)
+{
+    for (const char *f : {shard::kMetricsFile, shard::kCoverageFile,
+                          shard::kDbFile, shard::kStatsFile}) {
+        const std::string lhs = readArtifact(a, f);
+        if (lhs.empty() || lhs != readArtifact(b, f))
+            return false;
+    }
+    return true;
+}
+
+inline double
+runSingle(const core::PipelineConfig &base, const std::string &dir)
+{
+    std::filesystem::create_directories(dir);
+    core::PipelineConfig cfg = base;
+    cover::CoverageLedger ledger;
+    core::ExperimentDb db;
+    cfg.coverageLedger = &ledger;
+    cfg.database = &db;
+    Stopwatch watch;
+    const core::RunStats stats = core::Pipeline(cfg).run();
+    const double seconds = watch.seconds();
+    shard::writeCampaignArtifacts(stats, &db, dir);
+    return seconds;
+}
+
+struct ShardedTiming {
+    double workerSeconds = 0.0; ///< wall-clock of the slowest worker
+    double mergeSeconds = 0.0;
+    bool ok = true;
+};
+
+inline ShardedTiming
+runSharded(const core::PipelineConfig &base, const std::string &root)
+{
+    ShardedTiming t;
+    std::vector<std::thread> threads;
+    std::vector<bool> worker_ok(kShards, false);
+    Stopwatch watch;
+    for (int i = 0; i < kShards; ++i) {
+        threads.emplace_back([&base, &root, &worker_ok, i] {
+            core::PipelineConfig cfg = base;
+            cover::CoverageLedger ledger;
+            cfg.coverageLedger = &ledger;
+            const shard::WorkerResult res = shard::runWorker(
+                cfg, shard::ShardSpec{i, kShards},
+                shard::shardDir(root, i));
+            worker_ok[static_cast<std::size_t>(i)] = res.ok;
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    t.workerSeconds = watch.seconds();
+
+    core::PipelineConfig cfg = base;
+    cover::CoverageLedger ledger;
+    core::ExperimentDb db;
+    cfg.coverageLedger = &ledger;
+    cfg.database = &db;
+    Stopwatch merge_watch;
+    const shard::MergeResult merged =
+        shard::mergeCampaign(cfg, kShards, root, {});
+    t.mergeSeconds = merge_watch.seconds();
+    t.ok = merged.ok && merged.missingPrograms.empty();
+    for (const bool ok : worker_ok)
+        t.ok = t.ok && ok;
+    return t;
+}
+
+} // namespace shard_detail
+
+/**
+ * Run the single-process vs sharded comparison and write `path` in
+ * the "scamv-shard-v1" schema.
+ * @return false when the report cannot be written, the merged
+ * artifacts diverge from the reference, or the sharded run misses the
+ * kMinShardSpeedup gate.
+ */
+inline bool
+writeShardReport(const std::string &path = "BENCH_shard.json")
+{
+    namespace fs = std::filesystem;
+    const core::PipelineConfig wl = shard_detail::shardWorkload();
+    const std::string single_dir = "bench_shard_single";
+    const std::string sharded_dir = "bench_shard_sharded";
+    fs::remove_all(single_dir);
+    fs::remove_all(sharded_dir);
+
+    const double single_s = shard_detail::runSingle(wl, single_dir);
+    const shard_detail::ShardedTiming sharded =
+        shard_detail::runSharded(wl, sharded_dir);
+    const double sharded_s =
+        sharded.workerSeconds + sharded.mergeSeconds;
+
+    const bool deterministic =
+        sharded.ok &&
+        shard_detail::sameArtifacts(single_dir, sharded_dir);
+    const double speedup =
+        sharded_s > 0 ? single_s / sharded_s : 0.0;
+    const unsigned cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    const double gate = shardSpeedupGate(cores);
+
+    std::printf("[shard] single  (1 process, 1 thread):  %.3fs\n",
+                single_s);
+    std::printf("[shard] sharded (%d workers + merge):    %.3fs "
+                "(workers %.3fs, merge %.3fs)\n",
+                kShards, sharded_s, sharded.workerSeconds,
+                sharded.mergeSeconds);
+    std::printf("[shard] speedup: %.2fx (gate: %.1fx on %u cores)  "
+                "deterministic: %s\n",
+                speedup, gate, cores, deterministic ? "yes" : "NO");
+
+    char buf[512];
+    std::string body = "{\n  \"schema\": \"scamv-shard-v1\",\n";
+    std::snprintf(buf, sizeof buf,
+                  "  \"workload\": {\"template\": \"stride\", "
+                  "\"programs\": %d, \"tests_per_program\": %d, "
+                  "\"seed\": %llu},\n  \"shards\": %d,\n"
+                  "  \"cores\": %u,\n",
+                  wl.programs, wl.testsPerProgram,
+                  static_cast<unsigned long long>(wl.seed), kShards,
+                  cores);
+    body += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"single_seconds\": %.4f,\n"
+                  "  \"sharded_seconds\": %.4f,\n"
+                  "  \"worker_seconds\": %.4f,\n"
+                  "  \"merge_seconds\": %.4f,\n"
+                  "  \"speedup\": %.3f,\n  \"min_speedup\": %.2f,\n"
+                  "  \"deterministic\": %s\n}\n",
+                  single_s, sharded_s, sharded.workerSeconds,
+                  sharded.mergeSeconds, speedup, gate,
+                  deterministic ? "true" : "false");
+    body += buf;
+
+    std::ofstream out(path);
+    const bool wrote = out && (out << body);
+    out.close();
+    fs::remove_all(single_dir);
+    fs::remove_all(sharded_dir);
+    return wrote && deterministic && speedup >= gate;
+}
+
+} // namespace scamv::benchsupport
+
+#endif // SCAMV_BENCH_SHARD_REPORT_HH

@@ -19,7 +19,13 @@ Three shapes are recognized (auto-detected per file):
    engine comparison (batched simulation + solver modes); every mode
    must carry p50 <= p99 per-program latencies, the end-to-end
    speedup must meet its declared ``min_speedup`` and the modes must
-   agree byte-for-byte (``deterministic``).
+   agree byte-for-byte (``deterministic``);
+ - ``scamv-shard-v1`` from bench/shard_report.hh: sharded campaign
+   comparison (N concurrent workers + coordinator merge vs the
+   1-process reference); at least 2 shards, the end-to-end speedup
+   must meet its declared host-adapted ``min_speedup``, and the
+   merged artifacts must be byte-identical to the single-process
+   run (``deterministic``).
 
 Exit status is non-zero if any file is missing, unparseable or
 malformed, which is what makes the CI bench-smoke job a real gate.
@@ -222,6 +228,32 @@ def check_hotpath(path, doc):
           f"{len(modes)} modes, deterministic)")
 
 
+def check_shard(path, doc):
+    shards = doc.get("shards")
+    if not isinstance(shards, int) or isinstance(shards, bool) \
+            or shards < 2:
+        fail(path, "shards is not an integer >= 2 (no fan-out "
+                   "was measured)")
+    for key in ("single_seconds", "sharded_seconds", "worker_seconds",
+                "merge_seconds"):
+        if not is_num(doc.get(key)) or doc[key] < 0:
+            fail(path, f"{key!r} is not a non-negative number")
+    if doc["merge_seconds"] > doc["sharded_seconds"]:
+        fail(path, "merge_seconds exceeds sharded_seconds")
+    speedup = doc.get("speedup")
+    min_speedup = doc.get("min_speedup")
+    if not is_num(speedup) or not is_num(min_speedup):
+        fail(path, "missing numeric speedup/min_speedup")
+    if speedup < min_speedup:
+        fail(path, f"speedup {speedup} < {min_speedup} "
+                   "(sharding is not paying for itself)")
+    if doc.get("deterministic") is not True:
+        fail(path, "merged campaign diverges from the single-process "
+                   "run (deterministic != true)")
+    print(f"{path}: OK (shard speedup {speedup:.2f}x over "
+          f"{shards} shards, merge deterministic)")
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -240,6 +272,8 @@ def check_file(path):
         check_coverage(path, doc)
     elif doc.get("schema") == "scamv-hotpath-v1":
         check_hotpath(path, doc)
+    elif doc.get("schema") == "scamv-shard-v1":
+        check_shard(path, doc)
     elif "campaigns" in doc:
         check_parallel(path, doc)
     else:

@@ -212,56 +212,6 @@ replaySolverOps(qcache::CachedEnumerator &en,
 }
 
 /**
- * One program's slice of the campaign schedule.  Under the Uniform
- * schedule every field but `prog_i`/`templ` keeps its default; the
- * adaptive scheduler additionally hands the task its round's class
- * plan and coordinates (see cover/scheduler.hh).  The task stays a
- * pure function of (cfg, task): the plan is itself a pure function of
- * the ledger state at the round boundary, which the merge order makes
- * thread-count independent.
- */
-struct ProgramTask {
-    int prog_i = 0;
-    gen::TemplateKind templ = gen::TemplateKind::A;
-    /** Collect a cover::ProgramDelta for the campaign ledger. */
-    bool collectCover = false;
-    /** Adaptive class plan for this round (null: uniform rng draws). */
-    const cover::RoundPlan *plan = nullptr;
-    int slot = 0;   ///< slot within the round
-    int stride = 1; ///< round size (planClass stratification stride)
-};
-
-/**
- * Everything one program task produces.  Slots are indexed by
- * program index and merged in order after the campaign barrier, so
- * the aggregate is independent of task scheduling.  All counting and
- * timing lives in the task's metrics snapshot; only what the merge
- * needs per program (TTC reconstruction, record flushing) is kept
- * alongside.
- */
-struct alignas(64) ProgramOutcome {
-    bool hasCex = false;
-    /** Task died with an exception (caught by the campaign guard). */
-    bool failed = false;
-    /** Remaining tests abandoned after repeated injected failures. */
-    bool quarantined = false;
-    /** Generated program name ("program-<i>" when generation never
-     *  ran, e.g. after an injected task abort). */
-    std::string name;
-    /** Task-relative time of the first counterexample (-1: none). */
-    double firstCexOffsetSeconds = -1.0;
-    /** Total wall-clock of this task (sequential-campaign clock). */
-    double taskSeconds = 0.0;
-    /** Buffered database records, flushed in index order. */
-    std::vector<ExperimentRecord> records;
-    /** Coverage atoms of this program, folded into the campaign
-     *  ledger in index order (empty when untracked). */
-    cover::ProgramDelta coverDelta;
-    /** This task's private metrics registry, frozen at task end. */
-    metrics::Snapshot metrics;
-};
-
-/**
  * Record one bounded backoff step before a stage retry.  The delay
  * doubles per attempt (1 ms base, capped at ~1 s); it is always
  * recorded in `retry.backoff_seconds`, but only slept on the wall
@@ -950,58 +900,64 @@ scheduleFromEnv()
     return Schedule::Uniform;
 }
 
-} // namespace
-
-RunStats
-Pipeline::run()
+/**
+ * Fold the coverage deltas of programs [first_prog, first_prog+count)
+ * into the ledger, in program-index order on this thread — the ledger
+ * state at every fold boundary (and hence the exported JSON) is a
+ * pure function of the schedule, never of the thread count.  `outs[k]`
+ * is program first_prog + k.  Each program's merge runs under its own
+ * injector (mirroring the db flush): an injected cover.ledger_merge
+ * fault drops that delta.  Empty outcomes — failed tasks, early-
+ * stopped or lost programs — are skipped.  @return true when every
+ * delta landed.
+ */
+bool
+mergeCoverDeltas(const PipelineConfig &cfg,
+                 cover::CoverageLedger &ledger, metrics::Registry &reg,
+                 const ProgramOutcome *outs, int first_prog, int count)
 {
-    RunStats stats;
-
-    // Resolve the failure-model knobs once per run: an explicitly
-    // configured plan wins, otherwise the environment is consulted
-    // (SCAMV_FAULT_RATE / SCAMV_FAULT_PLAN / SCAMV_RETRY_MAX).
-    if (!cfg.faultPlan.enabled())
-        cfg.faultPlan = faults::FaultPlan::fromEnv();
-    if (cfg.retryMax < 0)
-        cfg.retryMax = static_cast<int>(
-            envLong("SCAMV_RETRY_MAX", 0, 64).value_or(2));
-
-    // Solver mode: an explicitly configured mode wins, otherwise
-    // SCAMV_SOLVER (defaulting to incremental).  See PipelineConfig
-    // for the mode semantics and the byte-identity contract.
-    if (!cfg.solverMode)
-        cfg.solverMode = smt::solverModeFromEnv();
-
-    // Query cache: an explicitly configured cache wins, otherwise the
-    // environment-configured shared cache (SCAMV_QCACHE_MB /
-    // SCAMV_QCACHE_FILE).  Fault-injection campaigns bypass the cache
-    // entirely: injected-fault decisions are keyed to per-site attempt
-    // counters, and skipping solver work on hits would change which
-    // attempts exist — byte-identical fault replay beats cache wins.
-    if (!cfg.queryCache)
-        cfg.queryCache = qcache::QueryCache::sharedFromEnv();
-    if (cfg.queryCache && cfg.faultPlan.enabled()) {
-        metrics::Registry::global()
-            .counter("qcache.bypass_faults")
-            .inc();
-        cfg.queryCache = nullptr;
+    const bool cover_faults =
+        cfg.faultPlan.enabled() &&
+        cfg.faultPlan.covers(faults::Site::CoverLedgerMerge);
+    bool ok = true;
+    metrics::ScopedRegistry scope(reg);
+    for (int k = 0; k < count; ++k) {
+        const ProgramOutcome &out = outs[k];
+        if (out.failed || out.coverDelta.templ.empty())
+            continue; // no delta was produced for this slot
+        faults::Injector injector(cfg.faultPlan, cfg.seed,
+                                  first_prog + k);
+        std::optional<faults::ScopedInjector> inj_scope;
+        if (cover_faults)
+            inj_scope.emplace(injector);
+        if (!ledger.merge(out.coverDelta)) {
+            reg.counter("cover.merge_dropped").inc();
+            ok = false;
+        }
     }
+    return ok;
+}
 
-    // Schedule and coverage tracking: an explicitly configured
-    // schedule wins, otherwise SCAMV_SCHEDULE; coverage accounting
-    // activates only when something consumes it (adaptive rounds, a
-    // configured ledger, or a SCAMV_COVERAGE_FILE export) — an
-    // untracked uniform campaign takes the exact pre-cover code path.
-    const Schedule sched = cfg.schedule.value_or(scheduleFromEnv());
-    const char *cov_env = std::getenv("SCAMV_COVERAGE_FILE");
-    const std::string cov_path = cov_env ? cov_env : "";
-    cover::CoverageLedger local_ledger;
-    cover::CoverageLedger *ledger = cfg.coverageLedger;
-    const bool track_cover = sched == Schedule::Adaptive ||
-                             !cov_path.empty() || ledger != nullptr;
-    if (track_cover && !ledger)
-        ledger = &local_ledger;
-
+/**
+ * Execute programs [first, first+budget) of the campaign under the
+ * resolved schedule, writing program first+k's outcome into outs[k].
+ * Uniform: one embarrassingly parallel batch, templates round-robin
+ * by *global* program index, no ledger access (deltas are folded by
+ * the merge tail).  Adaptive: deterministic rounds planned from
+ * `ledger` (required), folding each round's deltas before planning
+ * the next and counting scheduler events into `reg`.
+ * @return the number of budget programs skipped by adaptive
+ * early-stop (their slots stay empty).
+ */
+int
+runScheduleRange(const PipelineConfig &cfg,
+                 cover::CoverageLedger *ledger, metrics::Registry &reg,
+                 ProgramOutcome *outs, int first, int budget,
+                 bool track_cover)
+{
+    if (budget <= 0)
+        return 0;
+    const Schedule sched = cfg.schedule.value_or(Schedule::Uniform);
     const bool instrument = needsSpecInstrumentation(cfg);
     const int n_threads = resolveThreads(cfg.threads);
 
@@ -1009,35 +965,20 @@ Pipeline::run()
     if (templates.empty())
         templates.push_back(cfg.templateKind);
 
-    // One slot per program; tasks never touch shared state, so the
-    // campaign is embarrassingly parallel and the merge below sees
-    // the same slot contents regardless of scheduling.  (Adaptive
-    // early-stop may leave trailing slots unused; they merge as empty
-    // outcomes.)
-    std::vector<ProgramOutcome> slots(
-        cfg.programs > 0 ? static_cast<std::size_t>(cfg.programs) : 0);
-
-    // Campaign-level registry: round planning, ledger merging and the
-    // final stats/db merge all count into it; it is folded into the
-    // campaign snapshot after the per-program snapshots.
-    metrics::Registry campaign_reg(cfg.deterministicMetricsTiming
-                                       ? metrics::ClockMode::Deterministic
-                                       : metrics::ClockMode::Wall);
-
     std::optional<ThreadPool> pool;
-    if (n_threads > 1 && cfg.programs > 1)
+    if (n_threads > 1 && budget > 1)
         pool.emplace(static_cast<unsigned>(n_threads));
 
     auto run_batch = [&](const std::vector<ProgramTask> &tasks) {
         if (!pool) {
             // Reference path: plain sequential loop on this thread.
             for (const ProgramTask &task : tasks)
-                slots[task.prog_i] =
+                outs[task.prog_i - first] =
                     runOneProgramGuarded(cfg, instrument, task);
         } else {
             for (const ProgramTask &task : tasks) {
-                pool->submit([this, instrument, task, &slots] {
-                    slots[task.prog_i] =
+                pool->submit([&cfg, instrument, task, outs, first] {
+                    outs[task.prog_i - first] =
                         runOneProgramGuarded(cfg, instrument, task);
                 });
             }
@@ -1045,123 +986,120 @@ Pipeline::run()
         }
     };
 
-    // Fold the coverage deltas of programs [first, first+count) into
-    // the ledger, in program-index order on this thread — the ledger
-    // state at every round boundary (and hence the exported JSON) is
-    // a pure function of the schedule, never of the thread count.
-    // Each program's merge runs under its own injector (mirroring the
-    // db flush): an injected cover.ledger_merge fault drops that
-    // delta.  @return true when every delta landed.
-    const bool cover_faults =
-        cfg.faultPlan.enabled() &&
-        cfg.faultPlan.covers(faults::Site::CoverLedgerMerge);
-    auto merge_batch = [&](int first, int count) {
-        bool ok = true;
-        metrics::ScopedRegistry scope(campaign_reg);
-        for (int prog_i = first; prog_i < first + count; ++prog_i) {
-            const ProgramOutcome &out = slots[prog_i];
-            if (out.failed)
-                continue; // the task died before producing a delta
-            faults::Injector injector(cfg.faultPlan, cfg.seed, prog_i);
-            std::optional<faults::ScopedInjector> inj_scope;
-            if (cover_faults)
-                inj_scope.emplace(injector);
-            if (!ledger->merge(out.coverDelta)) {
-                campaign_reg.counter("cover.merge_dropped").inc();
-                ok = false;
-            }
-        }
-        return ok;
-    };
-
     if (sched == Schedule::Uniform) {
         // One uniform batch over the whole budget; multi-template
         // campaigns round-robin by program index.
         std::vector<ProgramTask> tasks;
-        tasks.reserve(slots.size());
-        for (int prog_i = 0; prog_i < cfg.programs; ++prog_i) {
+        tasks.reserve(static_cast<std::size_t>(budget));
+        for (int k = 0; k < budget; ++k) {
             ProgramTask task;
-            task.prog_i = prog_i;
-            task.templ = templates[static_cast<std::size_t>(prog_i) %
-                                   templates.size()];
+            task.prog_i = first + k;
+            task.templ =
+                templates[static_cast<std::size_t>(task.prog_i) %
+                          templates.size()];
             task.collectCover = track_cover;
             tasks.push_back(task);
         }
         run_batch(tasks);
-        if (track_cover)
-            merge_batch(0, cfg.programs);
-    } else {
-        // Adaptive schedule: spend the budget in deterministic rounds
-        // (round size is a pure function of the budget), replanning
-        // from a ledger snapshot at every round boundary.
-        const int round_size = cover::roundSizeFor(cfg.programs);
-        const std::uint64_t num_sets =
-            cfg.coverage == Coverage::PcAndLine
-                ? cfg.modelParams.geom.numSets
-                : 0;
-        std::vector<std::string> names;
-        for (gen::TemplateKind kind : templates)
-            names.emplace_back(gen::templateName(kind));
-
-        bool degraded = false;
-        int next = 0;
-        for (int round = 0; next < cfg.programs; ++round) {
-            const int batch = std::min(round_size, cfg.programs - next);
-            std::vector<cover::RoundPlan> plans(templates.size());
-            std::vector<int> assign;
-            if (!degraded) {
-                const cover::Snapshot snap = ledger->snapshot();
-                bool all_saturated = num_sets > 0;
-                for (std::size_t i = 0; i < templates.size(); ++i) {
-                    plans[i] = cover::planRound(snap, names[i],
-                                                cfg.seed, round,
-                                                num_sets);
-                    all_saturated &= plans[i].saturated;
-                }
-                if (all_saturated) {
-                    // Every template's class universe is covered or
-                    // exhausted: stop spending programs on it.
-                    campaign_reg.counter("cover.early_stop").inc();
-                    campaign_reg.counter("cover.skipped_programs")
-                        .add(static_cast<std::uint64_t>(cfg.programs -
-                                                        next));
-                    break;
-                }
-                assign = cover::weightedAssignment(
-                    cover::templateWeights(snap, names, num_sets),
-                    batch);
-            } else {
-                // Ledger-merge faults poisoned the accounting:
-                // degrade to the uniform round-robin draw for the
-                // rest of the campaign.
-                assign.resize(batch);
-                for (int s = 0; s < batch; ++s)
-                    assign[s] =
-                        static_cast<int>((next + s) % templates.size());
-            }
-            campaign_reg.counter("cover.rounds").inc();
-
-            std::vector<ProgramTask> tasks;
-            tasks.reserve(batch);
-            for (int s = 0; s < batch; ++s) {
-                ProgramTask task;
-                task.prog_i = next + s;
-                task.templ = templates[assign[s]];
-                task.collectCover = true;
-                task.plan = degraded ? nullptr : &plans[assign[s]];
-                task.slot = s;
-                task.stride = batch;
-                tasks.push_back(task);
-            }
-            run_batch(tasks);
-            if (!merge_batch(next, batch) && !degraded) {
-                degraded = true;
-                campaign_reg.counter("cover.degraded").inc();
-            }
-            next += batch;
-        }
-        stats.earlyStopped = cfg.programs - next;
+        return 0;
     }
+
+    // Adaptive schedule: spend the budget in deterministic rounds
+    // (round size is a pure function of the budget), replanning from
+    // a ledger snapshot at every round boundary.
+    const int round_size = cover::roundSizeFor(budget);
+    const std::uint64_t num_sets = cfg.coverage == Coverage::PcAndLine
+                                       ? cfg.modelParams.geom.numSets
+                                       : 0;
+    std::vector<std::string> names;
+    for (gen::TemplateKind kind : templates)
+        names.emplace_back(gen::templateName(kind));
+
+    bool degraded = false;
+    int next = 0;
+    for (int round = 0; next < budget; ++round) {
+        const int batch = std::min(round_size, budget - next);
+        std::vector<cover::RoundPlan> plans(templates.size());
+        std::vector<int> assign;
+        if (!degraded) {
+            const cover::Snapshot snap = ledger->snapshot();
+            bool all_saturated = num_sets > 0;
+            for (std::size_t i = 0; i < templates.size(); ++i) {
+                plans[i] = cover::planRound(snap, names[i], cfg.seed,
+                                            round, num_sets);
+                all_saturated &= plans[i].saturated;
+            }
+            if (all_saturated) {
+                // Every template's class universe is covered or
+                // exhausted: stop spending programs on it.
+                reg.counter("cover.early_stop").inc();
+                reg.counter("cover.skipped_programs")
+                    .add(static_cast<std::uint64_t>(budget - next));
+                break;
+            }
+            assign = cover::weightedAssignment(
+                cover::templateWeights(snap, names, num_sets), batch);
+        } else {
+            // Ledger-merge faults poisoned the accounting: degrade
+            // to the uniform round-robin draw for the rest of the
+            // campaign.
+            assign.resize(batch);
+            for (int s = 0; s < batch; ++s)
+                assign[s] = static_cast<int>(
+                    (static_cast<std::size_t>(first + next + s)) %
+                    templates.size());
+        }
+        reg.counter("cover.rounds").inc();
+
+        std::vector<ProgramTask> tasks;
+        tasks.reserve(static_cast<std::size_t>(batch));
+        for (int s = 0; s < batch; ++s) {
+            ProgramTask task;
+            task.prog_i = first + next + s;
+            task.templ = templates[static_cast<std::size_t>(
+                assign[static_cast<std::size_t>(s)])];
+            task.collectCover = true;
+            task.plan = degraded
+                            ? nullptr
+                            : &plans[static_cast<std::size_t>(
+                                  assign[static_cast<std::size_t>(s)])];
+            task.slot = s;
+            task.stride = batch;
+            tasks.push_back(task);
+        }
+        run_batch(tasks);
+        if (!mergeCoverDeltas(cfg, *ledger, reg, outs + next,
+                              first + next, batch) &&
+            !degraded) {
+            degraded = true;
+            reg.counter("cover.degraded").inc();
+        }
+        next += batch;
+    }
+    return budget - next;
+}
+
+/**
+ * The campaign merge tail shared by Pipeline::run() and the shard
+ * coordinator: fold the slots in program-index order into a RunStats.
+ * `fold_cover` folds the coverage deltas first (the Uniform path —
+ * the adaptive scheduler already folded per round); `export_env`
+ * honours the SCAMV_COVERAGE_FILE / SCAMV_METRICS /
+ * SCAMV_METRICS_TABLE exporters.
+ */
+RunStats
+mergeTailImpl(const PipelineConfig &cfg,
+              std::vector<ProgramOutcome> &slots,
+              cover::CoverageLedger *ledger, bool track_cover,
+              metrics::Registry &campaign_reg, bool fold_cover,
+              int early_stopped, bool export_env)
+{
+    RunStats stats;
+    stats.earlyStopped = early_stopped;
+
+    if (fold_cover && track_cover)
+        mergeCoverDeltas(cfg, *ledger, campaign_reg, slots.data(), 0,
+                         static_cast<int>(slots.size()));
 
     // Deterministic in-order merge.  Task snapshots are folded in
     // program-index order, so the campaign snapshot is identical for
@@ -1193,9 +1131,9 @@ Pipeline::run()
             // retried with backoff and finally dropped (counted, not
             // fatal: the campaign completes with a partial log).
             metrics::ScopedRegistry flush_scope(campaign_reg);
-            const bool db_faults = cfg.faultPlan.enabled() &&
-                                   cfg.faultPlan.covers(
-                                       faults::Site::DbWrite);
+            const bool db_faults =
+                cfg.faultPlan.enabled() &&
+                cfg.faultPlan.covers(faults::Site::DbWrite);
             for (std::size_t prog_i = 0; prog_i < slots.size();
                  ++prog_i) {
                 faults::Injector db_injector(
@@ -1268,10 +1206,12 @@ Pipeline::run()
             stats.coveredClasses += cell.coveredClasses();
             stats.classUniverse += cell.universe;
         }
-        if (!cov_path.empty() &&
-            !cover::writeJson(stats.coverage, cov_path))
+        const char *cov_env =
+            export_env ? std::getenv("SCAMV_COVERAGE_FILE") : nullptr;
+        if (cov_env && *cov_env &&
+            !cover::writeJson(stats.coverage, cov_env))
             warn("pipeline: cannot write coverage JSON to " +
-                 cov_path);
+                 std::string(cov_env));
     }
     stats.totalGenSeconds =
         histogramSumOr0(stats.metrics, "phase.generate_seconds") +
@@ -1284,18 +1224,170 @@ Pipeline::run()
 
     // Optional exporters (see README): SCAMV_METRICS writes the JSON
     // snapshot, SCAMV_METRICS_TABLE prints the text table to stderr.
-    if (const char *path = std::getenv("SCAMV_METRICS");
-        path && *path) {
-        if (!metrics::writeJson(stats.metrics, path))
-            warn("pipeline: cannot write metrics JSON to " +
-                 std::string(path));
-    }
-    if (const char *table = std::getenv("SCAMV_METRICS_TABLE");
-        table && *table && *table != '0') {
-        std::fputs(metrics::toTable(stats.metrics).render().c_str(),
-                   stderr);
+    if (export_env) {
+        if (const char *path = std::getenv("SCAMV_METRICS");
+            path && *path) {
+            if (!metrics::writeJson(stats.metrics, path))
+                warn("pipeline: cannot write metrics JSON to " +
+                     std::string(path));
+        }
+        if (const char *table = std::getenv("SCAMV_METRICS_TABLE");
+            table && *table && *table != '0') {
+            std::fputs(
+                metrics::toTable(stats.metrics).render().c_str(),
+                stderr);
+        }
     }
     return stats;
+}
+
+} // namespace
+
+PipelineConfig
+resolveCampaignEnv(PipelineConfig cfg)
+{
+    // Resolve the failure-model knobs: an explicitly configured plan
+    // wins, otherwise the environment is consulted
+    // (SCAMV_FAULT_RATE / SCAMV_FAULT_PLAN / SCAMV_RETRY_MAX).
+    if (!cfg.faultPlan.enabled())
+        cfg.faultPlan = faults::FaultPlan::fromEnv();
+    if (cfg.retryMax < 0)
+        cfg.retryMax = static_cast<int>(
+            envLong("SCAMV_RETRY_MAX", 0, 64).value_or(2));
+
+    // Solver mode: an explicitly configured mode wins, otherwise
+    // SCAMV_SOLVER (defaulting to incremental).  See PipelineConfig
+    // for the mode semantics and the byte-identity contract.
+    if (!cfg.solverMode)
+        cfg.solverMode = smt::solverModeFromEnv();
+
+    // Query cache: an explicitly configured cache wins, otherwise the
+    // environment-configured shared cache (SCAMV_QCACHE_MB /
+    // SCAMV_QCACHE_FILE).  Fault-injection campaigns bypass the cache
+    // entirely: injected-fault decisions are keyed to per-site attempt
+    // counters, and skipping solver work on hits would change which
+    // attempts exist — byte-identical fault replay beats cache wins.
+    if (!cfg.queryCache)
+        cfg.queryCache = qcache::QueryCache::sharedFromEnv();
+    if (cfg.queryCache && cfg.faultPlan.enabled()) {
+        metrics::Registry::global()
+            .counter("qcache.bypass_faults")
+            .inc();
+        cfg.queryCache = nullptr;
+    }
+
+    // Schedule: an explicitly configured schedule wins, otherwise
+    // SCAMV_SCHEDULE (defaulting to uniform).
+    if (!cfg.schedule)
+        cfg.schedule = scheduleFromEnv();
+    return cfg;
+}
+
+bool
+coverageTracked(const PipelineConfig &cfg)
+{
+    // Coverage accounting activates only when something consumes it
+    // (adaptive rounds, a configured ledger, or a SCAMV_COVERAGE_FILE
+    // export) — an untracked uniform campaign takes the exact
+    // pre-cover code path.
+    const char *cov = std::getenv("SCAMV_COVERAGE_FILE");
+    return cfg.schedule.value_or(Schedule::Uniform) ==
+               Schedule::Adaptive ||
+           cfg.coverageLedger != nullptr || (cov && *cov);
+}
+
+ProgramOutcome
+runProgramTask(const PipelineConfig &cfg, const ProgramTask &task)
+{
+    return runOneProgramGuarded(cfg, needsSpecInstrumentation(cfg),
+                                task);
+}
+
+CampaignSlice
+runCampaignSlice(const PipelineConfig &cfg, int first, int count)
+{
+    CampaignSlice slice;
+    slice.first = first;
+    slice.count = count > 0 ? count : 0;
+    slice.outcomes.resize(static_cast<std::size_t>(slice.count));
+    if (slice.count == 0)
+        return slice;
+
+    const bool adaptive = cfg.schedule.value_or(Schedule::Uniform) ==
+                          Schedule::Adaptive;
+    // An adaptive slice plans its rounds locally: a throwaway ledger
+    // over the slice's own budget.  Its scheduler counters are scoped
+    // to the worker and intentionally discarded — the coordinator
+    // re-folds the deltas authoritatively and records the planning
+    // deviation as `shard.schedule_local` (see DESIGN.md §12).
+    cover::CoverageLedger local_ledger;
+    metrics::Registry scratch(cfg.deterministicMetricsTiming
+                                  ? metrics::ClockMode::Deterministic
+                                  : metrics::ClockMode::Wall);
+    slice.scheduleLocal = adaptive;
+    slice.earlyStopped = runScheduleRange(
+        cfg, adaptive ? &local_ledger : nullptr, scratch,
+        slice.outcomes.data(), first, slice.count,
+        coverageTracked(cfg));
+    return slice;
+}
+
+RunStats
+mergeCampaignOutcomes(const PipelineConfig &cfg,
+                      std::vector<ProgramOutcome> &slots,
+                      const MergeTailOptions &opts)
+{
+    cover::CoverageLedger local_ledger;
+    cover::CoverageLedger *ledger = cfg.coverageLedger;
+    const bool track_cover = coverageTracked(cfg);
+    if (track_cover && !ledger)
+        ledger = &local_ledger;
+    metrics::Registry campaign_reg(
+        cfg.deterministicMetricsTiming
+            ? metrics::ClockMode::Deterministic
+            : metrics::ClockMode::Wall);
+    return mergeTailImpl(cfg, slots, ledger, track_cover, campaign_reg,
+                         /*fold_cover=*/true, opts.earlyStopped,
+                         opts.honorEnvExports);
+}
+
+RunStats
+Pipeline::run()
+{
+    cfg = resolveCampaignEnv(std::move(cfg));
+
+    cover::CoverageLedger local_ledger;
+    cover::CoverageLedger *ledger = cfg.coverageLedger;
+    const bool track_cover = coverageTracked(cfg);
+    if (track_cover && !ledger)
+        ledger = &local_ledger;
+
+    // One slot per program; tasks never touch shared state, so the
+    // campaign is embarrassingly parallel and the merge below sees
+    // the same slot contents regardless of scheduling.  (Adaptive
+    // early-stop may leave trailing slots unused; they merge as empty
+    // outcomes.)
+    std::vector<ProgramOutcome> slots(
+        cfg.programs > 0 ? static_cast<std::size_t>(cfg.programs) : 0);
+
+    // Campaign-level registry: round planning, ledger merging and the
+    // final stats/db merge all count into it; it is folded into the
+    // campaign snapshot after the per-program snapshots.
+    metrics::Registry campaign_reg(cfg.deterministicMetricsTiming
+                                       ? metrics::ClockMode::Deterministic
+                                       : metrics::ClockMode::Wall);
+
+    const int early_stopped =
+        runScheduleRange(cfg, ledger, campaign_reg, slots.data(), 0,
+                         cfg.programs, track_cover);
+
+    // The Uniform path folds its coverage deltas in the tail; the
+    // adaptive scheduler already folded per round.
+    const bool fold_cover =
+        track_cover && *cfg.schedule == Schedule::Uniform;
+    return mergeTailImpl(cfg, slots, ledger, track_cover, campaign_reg,
+                         fold_cover, early_stopped,
+                         /*export_env=*/true);
 }
 
 } // namespace scamv::core

@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "core/expdb.hh"
 #include "cover/ledger.hh"
 #include "gen/templates.hh"
 #include "harness/platform.hh"
@@ -63,9 +64,11 @@ namespace scamv::qcache {
 class QueryCache;
 }
 
-namespace scamv::core {
+namespace scamv::cover {
+struct RoundPlan;
+}
 
-class ExperimentDb;
+namespace scamv::core {
 
 /** Support-model coverage driving test-case enumeration (4.1). */
 enum class Coverage {
@@ -323,6 +326,131 @@ class Pipeline
 
 /** @return true if the configuration requires shadow instrumentation. */
 bool needsSpecInstrumentation(const PipelineConfig &cfg);
+
+/**
+ * One program's slot in the campaign schedule.  Under the Uniform
+ * schedule the template is the round-robin draw and `plan` is null;
+ * the adaptive scheduler assigns templates by coverage weight and
+ * points `plan` at the round's class plan (not owned; must outlive
+ * the task).  `slot`/`stride` stratify a round's tests over the
+ * plan's classes (see src/cover/scheduler.hh).
+ */
+struct ProgramTask {
+    int prog_i = 0;
+    gen::TemplateKind templ = gen::TemplateKind::A;
+    /** Collect a cover::ProgramDelta for the campaign ledger. */
+    bool collectCover = false;
+    /** Adaptive round plan for this program (nullptr: unguided). */
+    const cover::RoundPlan *plan = nullptr;
+    /** First class-plan slot this program's tests walk. */
+    int slot = 0;
+    /** Stride of the slot walk (the round's program count). */
+    int stride = 1;
+};
+
+/**
+ * Everything one program task produces, merged in program-index order
+ * by the campaign tail (or exported per shard and merged by
+ * shard::mergeCampaign).  Cache-line aligned: outcome slots are
+ * written concurrently by neighbouring pool workers.
+ */
+struct alignas(64) ProgramOutcome {
+    bool hasCex = false;
+    bool failed = false;
+    bool quarantined = false;
+    std::string name;
+    /** Offset of the first counterexample inside the task (-1: none),
+     *  in task-clock seconds; the merge rebuilds the campaign
+     *  time-to-counterexample from these on the sequential clock. */
+    double firstCexOffsetSeconds = -1.0;
+    double taskSeconds = 0.0;
+    /** Experiment-log rows, flushed by the merge thread in order. */
+    std::vector<ExperimentRecord> records;
+    /** Coverage delta (empty unless ProgramTask::collectCover). */
+    cover::ProgramDelta coverDelta;
+    /** The task's private metrics registry snapshot. */
+    metrics::Snapshot metrics;
+};
+
+/**
+ * Resolve every environment-dependent knob of a campaign config the
+ * way Pipeline::run() does — fault plan (SCAMV_FAULT_RATE /
+ * SCAMV_FAULT_PLAN), retry budget (SCAMV_RETRY_MAX), solver mode
+ * (SCAMV_SOLVER), schedule (SCAMV_SCHEDULE) and query cache
+ * (SCAMV_QCACHE_MB / SCAMV_QCACHE_FILE, bypassed when the resolved
+ * fault plan is enabled).  Idempotent.  Shard workers and the merge
+ * coordinator resolve once and pass the result to the slice / merge
+ * entry points below, so every process answers environment questions
+ * identically.
+ */
+PipelineConfig resolveCampaignEnv(PipelineConfig cfg);
+
+/**
+ * @return true when the resolved config tracks coverage: Adaptive
+ * schedule, a configured ledger, or SCAMV_COVERAGE_FILE set.
+ */
+bool coverageTracked(const PipelineConfig &cfg);
+
+/**
+ * Run one program task under the campaign task guard (fresh
+ * per-program registry and fault injector, exceptions contained as a
+ * failed outcome).  `cfg` must be resolved (`resolveCampaignEnv`).
+ * Pure function of (cfg, task): reruns — including a coordinator
+ * re-dispatch of a lost shard slice — reproduce the outcome
+ * byte-identically.
+ */
+ProgramOutcome runProgramTask(const PipelineConfig &cfg,
+                              const ProgramTask &task);
+
+/** Result of running a contiguous campaign slice (one shard). */
+struct CampaignSlice {
+    /** First program index of the slice. */
+    int first = 0;
+    /** Programs in the slice; `outcomes[k]` is program `first + k`. */
+    int count = 0;
+    std::vector<ProgramOutcome> outcomes;
+    /** Slice programs skipped by adaptive early-stop. */
+    int earlyStopped = 0;
+    /** Adaptive rounds were planned locally over the slice (see
+     *  DESIGN.md §12: recorded as `shard.schedule_local`). */
+    bool scheduleLocal = false;
+};
+
+/**
+ * Run programs [first, first + count) of the campaign.  `cfg` must be
+ * resolved.  Under the Uniform schedule this executes exactly the
+ * tasks a full run would give those indices, so concatenating slices
+ * and merging with `mergeCampaignOutcomes` is byte-identical to
+ * `Pipeline::run()`.  Under Adaptive the slice plans rounds locally
+ * (its own throwaway ledger over its own budget) — deterministic for
+ * a fixed partition, but not bit-equal to a global adaptive run.
+ */
+CampaignSlice runCampaignSlice(const PipelineConfig &cfg, int first,
+                               int count);
+
+/** Options for `mergeCampaignOutcomes`. */
+struct MergeTailOptions {
+    /** Programs skipped before the merge (adaptive early-stop). */
+    int earlyStopped = 0;
+    /** Honour SCAMV_COVERAGE_FILE / SCAMV_METRICS /
+     *  SCAMV_METRICS_TABLE exports (workers building per-shard
+     *  artifacts turn this off). */
+    bool honorEnvExports = true;
+};
+
+/**
+ * The campaign merge tail: fold `slots` (indexed by program) in
+ * program-index order into a RunStats exactly as Pipeline::run()
+ * does — coverage ledger fold, experiment-log flush with per-program
+ * fault injectors and delta-gated retries, metrics snapshot merge on
+ * the deterministic clock, counter rebuild and optional exports.
+ * `cfg` must be resolved; empty slots (skipped or lost programs)
+ * merge as no-ops.  Byte-identical to the tail of a 1-process run
+ * for the same slots.
+ */
+RunStats mergeCampaignOutcomes(const PipelineConfig &cfg,
+                               std::vector<ProgramOutcome> &slots,
+                               const MergeTailOptions &opts = {});
 
 /**
  * Per-program seed: a splitmix64-style avalanche over the campaign

@@ -114,6 +114,8 @@ struct alignas(64) ProgramDelta {
     std::map<std::string, std::int64_t> pathPairs;
     VerdictCounts verdicts;
 
+    bool operator==(const ProgramDelta &) const = default;
+
     bool empty() const;
 
     /** Count one coverage-constraint draw of `cls`. */

@@ -40,12 +40,16 @@ using MemInit = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
 struct ProgramInput {
     hw::ArchState regs;
     MemInit mem;
+
+    bool operator==(const ProgramInput &) const = default;
 };
 
 /** A relational test case: the two equivalent states (Section 2.3). */
 struct TestCase {
     ProgramInput s1;
     ProgramInput s2;
+
+    bool operator==(const TestCase &) const = default;
 };
 
 /**

@@ -45,6 +45,8 @@ namespace scamv::hw {
 /** Initial architectural register file of a run. */
 struct ArchState {
     std::array<std::uint64_t, bir::kNumRegs> regs{};
+
+    bool operator==(const ArchState &) const = default;
 };
 
 /** Core configuration (latencies and speculation behaviour). */

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shard planner: deterministic partition of the program-index range.
+ */
+
+#include "shard/shard.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+#include "support/qcache/canon.hh"
+
+namespace scamv::shard {
+
+std::optional<ShardSpec>
+parseShardSpec(std::string_view spec)
+{
+    const std::size_t slash = spec.find('/');
+    if (slash == std::string_view::npos || slash == 0 ||
+        slash + 1 >= spec.size())
+        return std::nullopt;
+    const auto digits = [](std::string_view s) {
+        if (s.empty())
+            return false;
+        for (char c : s)
+            if (c < '0' || c > '9')
+                return false;
+        return true;
+    };
+    const std::string_view idx = spec.substr(0, slash);
+    const std::string_view cnt = spec.substr(slash + 1);
+    // Reject non-digits (including signs) and absurd widths.
+    if (!digits(idx) || !digits(cnt) || idx.size() > 9 || cnt.size() > 9)
+        return std::nullopt;
+    ShardSpec out;
+    out.index = std::atoi(std::string(idx).c_str());
+    out.count = std::atoi(std::string(cnt).c_str());
+    if (out.count < 1 || out.index < 0 || out.index >= out.count)
+        return std::nullopt;
+    return out;
+}
+
+std::optional<ShardSpec>
+specFromEnv()
+{
+    const char *env = std::getenv("SCAMV_SHARD");
+    if (!env || !*env)
+        return std::nullopt;
+    std::optional<ShardSpec> spec = parseShardSpec(env);
+    if (!spec)
+        warn("shard: invalid SCAMV_SHARD \"" + std::string(env) +
+             "\" (want \"i/N\" with 0 <= i < N), ignoring");
+    return spec;
+}
+
+std::string
+dirFromEnv(const std::string &fallback)
+{
+    const char *env = std::getenv("SCAMV_SHARD_DIR");
+    return env && *env ? std::string(env) : fallback;
+}
+
+Slice
+planShard(std::uint64_t seed, int programs, int shard_count,
+          int shard_index)
+{
+    if (programs < 0)
+        programs = 0;
+    if (shard_count < 1)
+        shard_count = 1;
+    if (shard_index < 0 || shard_index >= shard_count)
+        return {};
+    const int base = programs / shard_count;
+    const int rem = programs % shard_count;
+    // The remainder programs go to `rem` consecutive shards starting
+    // at a seed-derived rotation, so which shards carry an extra
+    // program varies per campaign but every worker computes the same
+    // partition.
+    const int rot = static_cast<int>(
+        qcache::splitmix64(seed ^ 0x5a4dc0de5eedULL) %
+        static_cast<std::uint64_t>(shard_count));
+    const auto extra = [&](int i) {
+        return ((i + shard_count - rot) % shard_count) < rem ? 1 : 0;
+    };
+    Slice out;
+    for (int i = 0; i < shard_index; ++i)
+        out.first += base + extra(i);
+    out.count = base + extra(shard_index);
+    return out;
+}
+
+std::string
+shardDir(const std::string &root, int shard_index)
+{
+    return root + "/shard-" + std::to_string(shard_index);
+}
+
+} // namespace scamv::shard

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The deterministic campaign workload shared by the scamv_worker and
+ * scamv_merge binaries and bench_shard.
+ */
+
+#include "shard/shard.hh"
+
+namespace scamv::shard {
+
+core::PipelineConfig
+defaultWorkload(int programs, int tests, std::uint64_t seed,
+                bool adaptive, bool line)
+{
+    core::PipelineConfig cfg;
+    cfg.templateKind = gen::TemplateKind::Stride;
+    cfg.model = obs::ModelKind::Mpart;
+    cfg.refinement = obs::ModelKind::MpartRefined;
+    cfg.coverage =
+        line ? core::Coverage::PcAndLine : core::Coverage::Pc;
+    cfg.programs = programs;
+    cfg.testsPerProgram = tests;
+    cfg.seed = seed;
+    // One worker thread per process: shard-level parallelism comes
+    // from running N worker processes, and the byte-identity
+    // reference is the 1-process, 1-thread run.
+    cfg.threads = 1;
+    // Artifacts are diffed byte-for-byte across process counts, so
+    // every duration must come from the deterministic clock.
+    cfg.deterministicMetricsTiming = true;
+    // Pin the schedule explicitly: workers and coordinator must
+    // answer the uniform/adaptive question identically even if their
+    // environments diverge.
+    cfg.schedule =
+        adaptive ? core::Schedule::Adaptive : core::Schedule::Uniform;
+    cfg.modelParams.attacker.loSet = 61;
+    cfg.platform.visibleLoSet = 61;
+    cfg.platform.visibleHiSet = 127;
+    return cfg;
+}
+
+} // namespace scamv::shard

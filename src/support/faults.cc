@@ -37,6 +37,7 @@ siteName(Site site)
       case Site::TaskAbort: return "task_abort";
       case Site::QcacheCorrupt: return "qcache_corrupt";
       case Site::CoverLedgerMerge: return "cover.ledger_merge";
+      case Site::ShardArtifactCorrupt: return "shard_artifact_corrupt";
     }
     return "?";
 }

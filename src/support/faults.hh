@@ -54,10 +54,12 @@ enum class Site : int {
     TaskAbort,      ///< program task dies with an exception
     QcacheCorrupt,  ///< qcache::QueryCache persisted record corruption
     CoverLedgerMerge, ///< cover::CoverageLedger::merge drops a delta
+    ShardArtifactCorrupt, ///< shard outcome record corrupted at load
 };
 
 /** Number of sites (array sizing). */
-constexpr int kSiteCount = static_cast<int>(Site::CoverLedgerMerge) + 1;
+constexpr int kSiteCount =
+    static_cast<int>(Site::ShardArtifactCorrupt) + 1;
 
 /** @return the canonical (SCAMV_FAULT_PLAN) name of a site. */
 const char *siteName(Site site);
