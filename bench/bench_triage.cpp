@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Triage pre-screen bench: runs the screened vs unscreened
+ * comparison of bench/triage_report.hh and emits `BENCH_triage.json`.
+ * Exits non-zero when the screen neither pays for itself (wall-clock
+ * or avoided SMT queries) nor preserves campaign outcomes, so CI
+ * catches both efficiency and soundness regressions.
+ */
+
+#include <cstdio>
+
+#include "triage_report.hh"
+
+int
+main()
+{
+    const bool ok = scamv::benchsupport::writeTriageReport();
+    if (!ok)
+        std::printf("[triage] FAILED (see BENCH_triage.json)\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Shared bench helper: measure the abstract-cache pre-screen
+ * (src/triage) on the paper's stride workload and emit
+ * `BENCH_triage.json` (schema "scamv-triage-v1").
+ *
+ * Two sections run:
+ *
+ *  - stride: an Mpart -> Mpart' campaign whose attacker window spans
+ *    every cache set, so the ar-containment criterion proves each
+ *    stride program boring.  The screened run must either beat the
+ *    unscreened run end-to-end by `kMinTriageSpeedup` or avoid at
+ *    least `kMinSmtAvoided` of its SMT queries — the pre-screen's
+ *    whole value proposition, measured rather than assumed.
+ *
+ *  - mixed: a {Stride, C} Mct -> Mspec campaign run screened and
+ *    unscreened.  The screen may only skip work, never change an
+ *    outcome: verdict counters and the experiment-log CSV must match
+ *    byte for byte (the report's "deterministic" field — determinism
+ *    invariant 9 of ARCHITECTURE.md).  This gate never relaxes.
+ *
+ * Wall-clock speedup on small campaigns is noisy, which is why the
+ * gate is the (speedup || smt_avoided) disjunction: the query count
+ * is exact and host-independent, the wall clock is the honest
+ * end-to-end number.
+ */
+
+#ifndef SCAMV_BENCH_TRIAGE_REPORT_HH
+#define SCAMV_BENCH_TRIAGE_REPORT_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/expdb.hh"
+#include "core/pipeline.hh"
+#include "support/stopwatch.hh"
+
+namespace scamv::benchsupport {
+
+/** Required unscreened : screened wall-clock advantage. */
+inline constexpr double kMinTriageSpeedup = 1.5;
+
+/** Alternative gate: fraction of SMT queries the screen must avoid. */
+inline constexpr double kMinSmtAvoided = 0.3;
+
+namespace triage_detail {
+
+inline core::PipelineConfig
+strideWorkload()
+{
+    core::PipelineConfig cfg;
+    cfg.templateKind = gen::TemplateKind::Stride;
+    cfg.model = obs::ModelKind::Mpart;
+    cfg.refinement = obs::ModelKind::MpartRefined;
+    cfg.coverage = core::Coverage::PcAndLine;
+    cfg.programs =
+        std::max(16, core::scaled(48, core::scaleFromEnv(1.0)));
+    cfg.testsPerProgram = 6;
+    cfg.seed = 1213;
+    cfg.threads = 1;
+    cfg.deterministicMetricsTiming = true;
+    // Attacker window = every set: ar-containment holds everywhere.
+    cfg.modelParams.attacker.loSet = 0;
+    cfg.platform.visibleLoSet = 0;
+    cfg.triageMinimize = 0;
+    return cfg;
+}
+
+inline core::PipelineConfig
+mixedWorkload()
+{
+    core::PipelineConfig cfg;
+    cfg.templateKinds = {gen::TemplateKind::Stride,
+                         gen::TemplateKind::C};
+    cfg.model = obs::ModelKind::Mct;
+    cfg.refinement = obs::ModelKind::Mspec;
+    cfg.coverage = core::Coverage::PcAndLine;
+    cfg.programs =
+        std::max(12, core::scaled(32, core::scaleFromEnv(1.0)));
+    cfg.testsPerProgram = 3;
+    cfg.seed = 77;
+    cfg.threads = 1;
+    cfg.deterministicMetricsTiming = true;
+    cfg.triageMinimize = 0;
+    return cfg;
+}
+
+inline std::int64_t
+smtQueries(const core::RunStats &stats)
+{
+    const auto it = stats.metrics.counters.find("smt.queries");
+    return it == stats.metrics.counters.end() ? 0 : it->second;
+}
+
+inline std::string
+dbCsv(core::ExperimentDb &db, const std::string &path)
+{
+    if (!db.exportCsv(path))
+        return std::string();
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::remove(path.c_str());
+    return in ? text.str() : std::string();
+}
+
+} // namespace triage_detail
+
+/**
+ * Run the screened vs unscreened comparison and write `path` in the
+ * "scamv-triage-v1" schema.
+ * @return false when the report cannot be written, the screened
+ * mixed campaign diverges from the unscreened one, nothing was
+ * screened, or both the speedup and the SMT-avoidance gates miss.
+ */
+inline bool
+writeTriageReport(const std::string &path = "BENCH_triage.json")
+{
+    using namespace triage_detail;
+
+    // ---- stride section: the work the screen saves ----------------
+    core::PipelineConfig stride = strideWorkload();
+    stride.triageScreen = 0;
+    Stopwatch off_watch;
+    const core::RunStats off = core::Pipeline(stride).run();
+    const double off_s = off_watch.seconds();
+
+    stride.triageScreen = 1;
+    Stopwatch on_watch;
+    const core::RunStats on = core::Pipeline(stride).run();
+    const double on_s = on_watch.seconds();
+
+    const std::int64_t q_off = smtQueries(off);
+    const std::int64_t q_on = smtQueries(on);
+    const double speedup = on_s > 0.0 ? off_s / on_s : 0.0;
+    const double smt_avoided =
+        q_off > 0 ? 1.0 - static_cast<double>(q_on) /
+                              static_cast<double>(q_off)
+                  : 0.0;
+
+    // ---- mixed section: the screen must not change outcomes -------
+    core::PipelineConfig mixed = mixedWorkload();
+    core::ExperimentDb db_on, db_off;
+    mixed.triageScreen = 1;
+    mixed.database = &db_on;
+    const core::RunStats mix_on = core::Pipeline(mixed).run();
+    mixed.triageScreen = 0;
+    mixed.database = &db_off;
+    const core::RunStats mix_off = core::Pipeline(mixed).run();
+    const bool deterministic =
+        mix_on.experiments == mix_off.experiments &&
+        mix_on.counterexamples == mix_off.counterexamples &&
+        mix_on.inconclusive == mix_off.inconclusive &&
+        dbCsv(db_on, path + ".on.csv") ==
+            dbCsv(db_off, path + ".off.csv");
+
+    std::printf("[triage] unscreened: %.3fs (%lld SMT queries)\n",
+                off_s, static_cast<long long>(q_off));
+    std::printf("[triage] screened:   %.3fs (%lld SMT queries, "
+                "%lld/%d programs screened)\n",
+                on_s, static_cast<long long>(q_on),
+                static_cast<long long>(on.screened),
+                stride.programs);
+    std::printf("[triage] speedup: %.2fx (gate %.1fx)  smt avoided: "
+                "%.0f%% (gate %.0f%%)  deterministic: %s\n",
+                speedup, kMinTriageSpeedup, 100.0 * smt_avoided,
+                100.0 * kMinSmtAvoided, deterministic ? "yes" : "NO");
+
+    char buf[640];
+    std::string body = "{\n  \"schema\": \"scamv-triage-v1\",\n";
+    std::snprintf(buf, sizeof buf,
+                  "  \"workload\": {\"template\": \"stride\", "
+                  "\"programs\": %d, \"tests_per_program\": %d, "
+                  "\"seed\": %llu},\n",
+                  stride.programs, stride.testsPerProgram,
+                  static_cast<unsigned long long>(stride.seed));
+    body += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"screened\": %lld,\n"
+                  "  \"screen_off_seconds\": %.4f,\n"
+                  "  \"screen_on_seconds\": %.4f,\n"
+                  "  \"speedup\": %.3f,\n  \"min_speedup\": %.2f,\n"
+                  "  \"smt_queries_off\": %lld,\n"
+                  "  \"smt_queries_on\": %lld,\n"
+                  "  \"smt_avoided\": %.3f,\n"
+                  "  \"min_smt_avoided\": %.2f,\n"
+                  "  \"deterministic\": %s\n}\n",
+                  static_cast<long long>(on.screened), off_s, on_s,
+                  speedup, kMinTriageSpeedup,
+                  static_cast<long long>(q_off),
+                  static_cast<long long>(q_on), smt_avoided,
+                  kMinSmtAvoided, deterministic ? "true" : "false");
+    body += buf;
+
+    std::ofstream out(path);
+    const bool wrote = out && (out << body);
+    out.close();
+    return wrote && deterministic && on.screened > 0 &&
+           (speedup >= kMinTriageSpeedup ||
+            smt_avoided >= kMinSmtAvoided);
+}
+
+} // namespace scamv::benchsupport
+
+#endif // SCAMV_BENCH_TRIAGE_REPORT_HH

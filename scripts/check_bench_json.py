@@ -254,6 +254,39 @@ def check_shard(path, doc):
           f"{shards} shards, merge deterministic)")
 
 
+def check_triage(path, doc):
+    screened = doc.get("screened")
+    if not isinstance(screened, int) or isinstance(screened, bool) \
+            or screened < 1:
+        fail(path, "screened is not an integer >= 1 (the pre-screen "
+                   "proved nothing boring)")
+    for key in ("screen_off_seconds", "screen_on_seconds",
+                "smt_queries_off", "smt_queries_on"):
+        if not is_num(doc.get(key)) or doc[key] < 0:
+            fail(path, f"{key!r} is not a non-negative number")
+    speedup = doc.get("speedup")
+    min_speedup = doc.get("min_speedup")
+    avoided = doc.get("smt_avoided")
+    min_avoided = doc.get("min_smt_avoided")
+    if not is_num(speedup) or not is_num(min_speedup):
+        fail(path, "missing numeric speedup/min_speedup")
+    if not is_num(avoided) or not is_num(min_avoided):
+        fail(path, "missing numeric smt_avoided/min_smt_avoided")
+    if doc["smt_queries_on"] > doc["smt_queries_off"]:
+        fail(path, "screened run issued more SMT queries than the "
+                   "unscreened one")
+    if speedup < min_speedup and avoided < min_avoided:
+        fail(path, f"speedup {speedup} < {min_speedup} and "
+                   f"smt_avoided {avoided} < {min_avoided} "
+                   "(the pre-screen is not paying for itself)")
+    if doc.get("deterministic") is not True:
+        fail(path, "screened campaign diverges from the unscreened "
+                   "one (deterministic != true)")
+    print(f"{path}: OK (triage speedup {speedup:.2f}x, "
+          f"{100 * avoided:.0f}% SMT avoided, {screened} screened, "
+          f"outcome-preserving)")
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -274,6 +307,8 @@ def check_file(path):
         check_hotpath(path, doc)
     elif doc.get("schema") == "scamv-shard-v1":
         check_shard(path, doc)
+    elif doc.get("schema") == "scamv-triage-v1":
+        check_triage(path, doc)
     elif "campaigns" in doc:
         check_parallel(path, doc)
     else:

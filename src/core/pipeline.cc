@@ -25,6 +25,8 @@
 #include "support/qcache/qcache.hh"
 #include "support/stopwatch.hh"
 #include "support/thread_pool.hh"
+#include "triage/minimize.hh"
+#include "triage/screen.hh"
 
 namespace scamv::core {
 
@@ -335,6 +337,28 @@ runOneProgram(const PipelineConfig &cfg, bool instrument,
         }
     }
 
+    // ---- Triage pre-screen (src/triage/screen.hh) ---------------
+    // Runs before any rng, solver or platform use, and is a pure
+    // function of the instrumented program — a screened-out program
+    // leaves the task's rng streams untouched, so the surviving
+    // programs replay byte-identically with the screen on or off.
+    // The class mask survives for non-boring programs: the adaptive
+    // coverage draw below skips classes the program provably cannot
+    // touch.
+    std::vector<bool> screen_mask;
+    if (cfg.triageScreen > 0 && cfg.refinement) {
+        metrics::PhaseTimer phase(reg, "triage_screen");
+        triage::ScreenResult screen = triage::screenProgram(
+            model_prog, cfg.model, *cfg.refinement, cfg.modelParams);
+        if (screen.verdict == triage::ScreenVerdict::Boring) {
+            reg.counter("triage.screened").inc();
+            reg.counter("triage.screened." + screen.reason).inc();
+            finish_task();
+            return out;
+        }
+        screen_mask = std::move(screen.classMask);
+    }
+
     // ---- Symbolic execution (cached per program) ----------------
     std::vector<sym::PathResult> paths1, paths2;
     {
@@ -456,8 +480,20 @@ runOneProgram(const PipelineConfig &cfg, bool instrument,
         -> std::optional<rel::LineCoverageDraw> {
         std::optional<rel::LineCoverageDraw> cov;
         if (task.plan && !task.plan->classOrder.empty()) {
-            const int cls = cover::planClass(
-                *task.plan, task.slot, plan_draw++, task.stride);
+            int cls;
+            if (screen_mask.empty()) {
+                cls = cover::planClass(*task.plan, task.slot,
+                                       plan_draw++, task.stride);
+            } else {
+                // Screened class gating: classes outside the
+                // program's abstract reach don't consume draws.
+                std::int64_t skipped = 0;
+                cls = cover::planClassAllowed(*task.plan, task.slot,
+                                              plan_draw, task.stride,
+                                              screen_mask, &skipped);
+                if (skipped)
+                    reg.counter("triage.skipped_draws").add(skipped);
+            }
             cov = relation->lineCoverageConstraintFor(pair, cls, cls);
         } else {
             cov = relation->lineCoverageConstraint(pair, rng);
@@ -788,14 +824,75 @@ runOneProgram(const PipelineConfig &cfg, bool instrument,
         }
 
         switch (result.verdict) {
-          case harness::Verdict::Counterexample:
+          case harness::Verdict::Counterexample: {
             reg.counter("pipeline.counterexamples").inc();
             out.hasCex = true;
             if (out.firstCexOffsetSeconds < 0)
                 out.firstCexOffsetSeconds = task_watch.seconds();
             if (task.collectCover)
                 ++delta.verdicts.counterexamples;
+            if (cfg.triageMinimize > 0 || cfg.findingsFile) {
+                triage::Finding f;
+                f.progIndex = prog_i;
+                f.program = program.name();
+                f.instrsBefore = static_cast<int>(program.size());
+                f.instrsAfter = f.instrsBefore;
+                f.stateBitsBefore = triage::stateBitCount(tc);
+                f.stateBitsAfter = f.stateBitsBefore;
+                bir::Program core_prog = program;
+                harness::TestCase core_tc = tc;
+                if (cfg.triageMinimize > 0) {
+                    // One fault decision per finding, taken *before*
+                    // shrinking (the minimizer itself runs under
+                    // ScopedSuppress): a flaked minimizer keeps the
+                    // unminimized witness — degraded, never lost.
+                    if (faults::maybeInject(
+                            faults::Site::TriageMinimizeFlake)) {
+                        f.degraded = true;
+                        reg.counter("triage.degraded").inc();
+                    } else {
+                        metrics::PhaseTimer mphase(reg,
+                                                   "triage_minimize");
+                        triage::MinimizeConfig mcfg;
+                        mcfg.platform = cfg.platform;
+                        mcfg.seed = prog_seed;
+                        mcfg.training = training;
+                        auto min = triage::minimizeCounterexample(
+                            program, tc, mcfg);
+                        if (min.evalsUsed <= 1) {
+                            // The evaluation platform could not
+                            // reproduce the leak (noise): keep the
+                            // original witness.
+                            f.degraded = true;
+                            reg.counter("triage.degraded").inc();
+                        } else {
+                            core_prog = std::move(min.program);
+                            core_tc = std::move(min.tc);
+                            f.minimized = true;
+                            f.instrsAfter =
+                                static_cast<int>(core_prog.size());
+                            f.stateBitsAfter =
+                                triage::stateBitCount(core_tc);
+                            reg.counter("triage.minimized").inc();
+                        }
+                    }
+                }
+                const bool spec_ref =
+                    cfg.refinement &&
+                    (*cfg.refinement == obs::ModelKind::Mspec ||
+                     *cfg.refinement == obs::ModelKind::Mspec1 ||
+                     *cfg.refinement == obs::ModelKind::MspecPage);
+                f.mechanism = triage::classifyMechanism(
+                    core_prog, core_tc, training, spec_ref,
+                    cfg.platform, prog_seed);
+                f.signature = f.mechanism + "/" +
+                              triage::shapeSignature(core_prog);
+                f.core = core_prog.toString();
+                f.tc = std::move(core_tc);
+                out.findings.push_back(std::move(f));
+            }
             break;
+          }
           case harness::Verdict::Inconclusive:
             reg.counter("pipeline.inconclusive").inc();
             if (task.collectCover)
@@ -1122,6 +1219,12 @@ mergeTailImpl(const PipelineConfig &cfg,
                 stats.quarantinedPrograms.push_back(out.name);
             if (out.failed)
                 stats.failedPrograms.push_back(out.name);
+            // Findings concatenate in program-index order, which is
+            // what makes the findings export independent of thread
+            // and shard count.
+            stats.findings.insert(stats.findings.end(),
+                                  out.findings.begin(),
+                                  out.findings.end());
         }
         if (cfg.database) {
             // Flush sequentially in program-index order so the
@@ -1198,6 +1301,9 @@ mergeTailImpl(const PipelineConfig &cfg,
         counterOr0(stats.metrics, "cover.merge_dropped");
     stats.schedulerDegraded =
         counterOr0(stats.metrics, "cover.degraded") > 0;
+    stats.screened = counterOr0(stats.metrics, "triage.screened");
+    stats.triageDegraded =
+        counterOr0(stats.metrics, "triage.degraded");
 
     if (track_cover) {
         stats.coverageTracked = true;
@@ -1237,6 +1343,10 @@ mergeTailImpl(const PipelineConfig &cfg,
                 metrics::toTable(stats.metrics).render().c_str(),
                 stderr);
         }
+        if (cfg.findingsFile &&
+            !triage::writeFindings(stats.findings, *cfg.findingsFile))
+            warn("pipeline: cannot write findings JSON to " +
+                 *cfg.findingsFile);
     }
     return stats;
 }
@@ -1280,6 +1390,20 @@ resolveCampaignEnv(PipelineConfig cfg)
     // SCAMV_SCHEDULE (defaulting to uniform).
     if (!cfg.schedule)
         cfg.schedule = scheduleFromEnv();
+
+    // Triage: pre-screen (SCAMV_TRIAGE), minimizer (SCAMV_MINIMIZE)
+    // and findings export (SCAMV_FINDINGS_FILE), each defaulting off.
+    if (cfg.triageScreen < 0)
+        cfg.triageScreen = static_cast<int>(
+            envLong("SCAMV_TRIAGE", 0, 1).value_or(0));
+    if (cfg.triageMinimize < 0)
+        cfg.triageMinimize = static_cast<int>(
+            envLong("SCAMV_MINIMIZE", 0, 1).value_or(0));
+    if (!cfg.findingsFile) {
+        const char *path = std::getenv("SCAMV_FINDINGS_FILE");
+        if (path && *path)
+            cfg.findingsFile = path;
+    }
     return cfg;
 }
 

@@ -59,6 +59,7 @@
 #include "smt/modes.hh"
 #include "support/faults.hh"
 #include "support/metrics.hh"
+#include "triage/findings.hh"
 
 namespace scamv::qcache {
 class QueryCache;
@@ -237,6 +238,37 @@ struct PipelineConfig {
      * campaign.
      */
     int quarantineAfter = 3;
+
+    /**
+     * Abstract-cache pre-screen (src/triage/screen.hh).  Programs the
+     * abstraction proves boring — no M2-only observation can differ
+     * across any relation pair — skip symbolic execution, relation
+     * synthesis and SMT (counted `triage.screened` plus a per-reason
+     * counter), and the screen's class mask gates adaptive coverage
+     * draws so provably-unreachable classes don't consume the budget.
+     * The screen may only skip provably fruitless work, never change
+     * a verdict or database record (ctest's differential test).  Only
+     * consulted under refinement.  -1 = resolve from SCAMV_TRIAGE
+     * (0|1, default off).
+     */
+    int triageScreen = -1;
+    /**
+     * Counterexample minimizer (src/triage/minimize.hh): shrink each
+     * confirmed counterexample to a minimal leaking core via ddmin
+     * over statements and initial-state bits, re-validated through
+     * the experiment platform.  Findings are clustered by mechanism
+     * signature into RunStats::findings.  -1 = resolve from
+     * SCAMV_MINIMIZE (0|1, default off).
+     */
+    int triageMinimize = -1;
+    /**
+     * Findings export path (scamv-findings-v1 JSON, see
+     * src/triage/findings.hh).  Unset resolves from
+     * SCAMV_FINDINGS_FILE.  Findings are collected (and classified)
+     * whenever this is set or the minimizer is on; they are shrunk
+     * only when the minimizer is on.
+     */
+    std::optional<std::string> findingsFile;
 };
 
 /** Campaign statistics, mirroring a column of Table 1 / Fig. 7. */
@@ -270,6 +302,15 @@ struct RunStats {
     std::uint64_t classUniverse = 0;
     /** Programs not run: adaptive early-stop on saturation. */
     int earlyStopped = 0;
+    /** Programs proven boring by the triage pre-screen (skipped
+     *  symbolic execution and SMT). */
+    std::int64_t screened = 0;
+    /** Findings kept unminimized after a minimizer flake. */
+    std::int64_t triageDegraded = 0;
+    /** Minimized counterexamples, in program-index order (collected
+     *  when the minimizer or a findings export is enabled; export
+     *  with triage::findingsToJson or via SCAMV_FINDINGS_FILE). */
+    std::vector<triage::Finding> findings;
     /** Coverage deltas dropped by injected ledger-merge faults. */
     std::int64_t ledgerMergeDrops = 0;
     /** Adaptive scheduling degraded to uniform after merge faults. */
@@ -370,6 +411,8 @@ struct alignas(64) ProgramOutcome {
     cover::ProgramDelta coverDelta;
     /** The task's private metrics registry snapshot. */
     metrics::Snapshot metrics;
+    /** Triage findings of this program (see RunStats::findings). */
+    std::vector<triage::Finding> findings;
 };
 
 /**

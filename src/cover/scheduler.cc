@@ -124,6 +124,33 @@ planClass(const RoundPlan &plan, int slot, int draw, int stride)
     return plan.classOrder[idx];
 }
 
+int
+planClassAllowed(const RoundPlan &plan, int slot, int &draw, int stride,
+                 const std::vector<bool> &allowed, std::int64_t *skipped)
+{
+    // One lap of the class order is enough: planClass cycles with
+    // period <= classOrder.size() for any (slot, stride).
+    const std::size_t lap = plan.classOrder.size();
+    for (std::size_t i = 0; i < lap; ++i) {
+        const int cls = planClass(plan, slot, draw, stride);
+        if (cls < 0)
+            break;
+        const bool ok =
+            cls < static_cast<int>(allowed.size()) &&
+            allowed[static_cast<std::size_t>(cls)];
+        if (ok) {
+            ++draw;
+            return cls;
+        }
+        ++draw;
+        if (skipped)
+            ++*skipped;
+    }
+    // No reachable class in the plan: fall back to one unfiltered
+    // draw so the caller's behaviour matches the unscreened path.
+    return planClass(plan, slot, draw++, stride);
+}
+
 std::vector<double>
 templateWeights(const Snapshot &snap,
                 const std::vector<std::string> &templates,

@@ -85,6 +85,20 @@ RoundPlan planRound(const Snapshot &snap, const std::string &templ,
 int planClass(const RoundPlan &plan, int slot, int draw, int stride);
 
 /**
+ * `planClass`, filtered by the triage pre-screen's class mask: walks
+ * up to one full lap of `plan.classOrder` (advancing `draw` past the
+ * skipped candidates) and @return the first planned class `allowed`,
+ * so classes a program provably cannot touch don't consume its
+ * coverage draws.  Skipped candidates are tallied into `*skipped`
+ * (when non-null).  When no allowed class exists in the order — or the
+ * mask is empty — falls back to a single unfiltered `planClass` draw,
+ * so the caller always observes `draw` advance by at least one.
+ */
+int planClassAllowed(const RoundPlan &plan, int slot, int &draw,
+                     int stride, const std::vector<bool> &allowed,
+                     std::int64_t *skipped);
+
+/**
  * Per-template budget weights for the next round, in `templates`
  * order: 1 + uncovered-fraction for undecided templates, scaled by
  * `cfg.decidedWeight` once a template has a counterexample, zero once

@@ -361,6 +361,22 @@ encodeOutcome(std::string &out, int k,
                      encodeRegs(r.testCase.s2.regs) + ' ' +
                      encodeMem(r.testCase.s2.mem));
     }
+    for (const triage::Finding &fd : o.findings) {
+        pushLine(out,
+                 "F " + std::to_string(fd.progIndex) + ' ' +
+                     esc(fd.program) + ' ' + esc(fd.mechanism) + ' ' +
+                     esc(fd.signature) + ' ' +
+                     std::string(fd.minimized ? "1" : "0") + ' ' +
+                     std::string(fd.degraded ? "1" : "0") + ' ' +
+                     std::to_string(fd.instrsBefore) + ' ' +
+                     std::to_string(fd.instrsAfter) + ' ' +
+                     std::to_string(fd.stateBitsBefore) + ' ' +
+                     std::to_string(fd.stateBitsAfter) + ' ' +
+                     esc(fd.core) + ' ' + encodeRegs(fd.tc.s1.regs) +
+                     ' ' + encodeMem(fd.tc.s1.mem) + ' ' +
+                     encodeRegs(fd.tc.s2.regs) + ' ' +
+                     encodeMem(fd.tc.s2.mem));
+    }
 }
 
 /** One group's accumulated lines, committed only when fully valid. */
@@ -485,6 +501,35 @@ parseGroupLine(std::string_view prefix, GroupParse &group)
         r.trained = f[4] == "1";
         r.verdict = static_cast<harness::Verdict>(verdict);
         o.records.push_back(std::move(r));
+        return true;
+    }
+    if (f[0] == "F") {
+        if (f.size() != 16)
+            return false;
+        triage::Finding fd;
+        auto program = unesc(f[2]);
+        auto mechanism = unesc(f[3]);
+        auto signature = unesc(f[4]);
+        auto core_text = unesc(f[11]);
+        if (!parseInt(f[1], fd.progIndex) || !program || !mechanism ||
+            !signature || (f[5] != "0" && f[5] != "1") ||
+            (f[6] != "0" && f[6] != "1") ||
+            !parseInt(f[7], fd.instrsBefore) ||
+            !parseInt(f[8], fd.instrsAfter) ||
+            !parseInt(f[9], fd.stateBitsBefore) ||
+            !parseInt(f[10], fd.stateBitsAfter) || !core_text ||
+            !decodeRegs(f[12], fd.tc.s1.regs) ||
+            !decodeMem(f[13], fd.tc.s1.mem) ||
+            !decodeRegs(f[14], fd.tc.s2.regs) ||
+            !decodeMem(f[15], fd.tc.s2.mem))
+            return false;
+        fd.program = std::move(*program);
+        fd.mechanism = std::move(*mechanism);
+        fd.signature = std::move(*signature);
+        fd.minimized = f[5] == "1";
+        fd.degraded = f[6] == "1";
+        fd.core = std::move(*core_text);
+        o.findings.push_back(std::move(fd));
         return true;
     }
     return false;

@@ -38,6 +38,7 @@ siteName(Site site)
       case Site::QcacheCorrupt: return "qcache_corrupt";
       case Site::CoverLedgerMerge: return "cover.ledger_merge";
       case Site::ShardArtifactCorrupt: return "shard_artifact_corrupt";
+      case Site::TriageMinimizeFlake: return "triage_minimize_flake";
     }
     return "?";
 }

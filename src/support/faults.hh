@@ -55,11 +55,12 @@ enum class Site : int {
     QcacheCorrupt,  ///< qcache::QueryCache persisted record corruption
     CoverLedgerMerge, ///< cover::CoverageLedger::merge drops a delta
     ShardArtifactCorrupt, ///< shard outcome record corrupted at load
+    TriageMinimizeFlake,  ///< counterexample minimizer dies mid-shrink
 };
 
 /** Number of sites (array sizing). */
 constexpr int kSiteCount =
-    static_cast<int>(Site::ShardArtifactCorrupt) + 1;
+    static_cast<int>(Site::TriageMinimizeFlake) + 1;
 
 /** @return the canonical (SCAMV_FAULT_PLAN) name of a site. */
 const char *siteName(Site site);

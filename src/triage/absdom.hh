@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Abstract address domain for the triage pre-screen.
+ *
+ * A tiny value analysis over BIR in the spirit of CANAL's LLVM-level
+ * cache modeling (arXiv:1807.03329): each register holds an abstract
+ * 64-bit value — Top, a small explicit set, or an unsigned interval —
+ * and a worklist fixpoint over the CFG (joins at merge points,
+ * widening on repeated visits) derives, for every reachable memory
+ * access, a sound over-approximation of the addresses it can touch
+ * for *any* initial state.  `classBound` projects an abstract address
+ * onto the Mline cache-set classes it can reach, which is what both
+ * the pre-screen and the adaptive scheduler's class gating consume.
+ *
+ * Soundness contract: entry registers are Top (initial state is
+ * unconstrained), loads produce Top (memory is not modeled), every
+ * transfer function over-approximates the concrete wrapping 64-bit
+ * semantics of sym/symexec and hw/core.  Shadow (transient)
+ * instructions are interpreted exactly as the symbolic executor does:
+ * entering a transient run snapshots the architectural registers,
+ * transient stores never write, and any architectural instruction
+ * ends the run (see src/sym/symexec.cc).
+ */
+
+#ifndef SCAMV_TRIAGE_ABSDOM_HH
+#define SCAMV_TRIAGE_ABSDOM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bir/bir.hh"
+#include "obs/layout.hh"
+
+namespace scamv::triage {
+
+/** Explicit-set cardinality cap; larger sets hull to an interval. */
+constexpr std::size_t kSetCap = 16;
+
+/** Fixpoint visits of one block before joins switch to widening. */
+constexpr int kWidenAfter = 4;
+
+/** One abstract 64-bit value: Top, a sorted set, or an interval. */
+struct AbsValue {
+    enum class Kind { Top, Set, Interval };
+
+    Kind kind = Kind::Top;
+    /** Set members, sorted and unique (Kind::Set). */
+    std::vector<std::uint64_t> elems;
+    /** Unsigned bounds, inclusive (Kind::Interval). */
+    std::uint64_t lo = 0;
+    std::uint64_t hi = ~0ULL;
+
+    static AbsValue top();
+    static AbsValue constant(std::uint64_t c);
+    static AbsValue interval(std::uint64_t lo, std::uint64_t hi);
+    /** Set from members (sorted/deduped; hulls when over kSetCap). */
+    static AbsValue setOf(std::vector<std::uint64_t> members);
+
+    bool isTop() const { return kind == Kind::Top; }
+    /** @return the single concrete value, if this is a singleton. */
+    std::optional<std::uint64_t> asConstant() const;
+    /** @return true when v is a possible concrete value. */
+    bool contains(std::uint64_t v) const;
+    /** @return true when every concrete value of `other` is one of
+     *  ours (other ⊑ this). */
+    bool subsumes(const AbsValue &other) const;
+    /** Smallest interval covering this value (Top stays Top). */
+    AbsValue hull() const;
+
+    std::string toString() const;
+
+    bool operator==(const AbsValue &) const = default;
+};
+
+/** Least upper bound. */
+AbsValue join(const AbsValue &a, const AbsValue &b);
+
+/** Widening: keeps `prev` when it already covers `next`, else Top —
+ *  guarantees fixpoint termination on (hypothetical) CFG cycles. */
+AbsValue widen(const AbsValue &prev, const AbsValue &next);
+
+/** Abstract ALU transfer over the wrapping 64-bit semantics. */
+AbsValue transfer(bir::AluOp op, const AbsValue &a, const AbsValue &b);
+
+/**
+ * Project an abstract address onto cache-set classes: member[c] is
+ * true when some concrete address in the abstraction maps to set
+ * class c under `geom`.  Top (and any interval spanning at least one
+ * full cache's worth of lines) marks every class.
+ */
+std::vector<bool> classBound(const AbsValue &addr,
+                             const obs::CacheGeometry &geom);
+
+/** One reachable memory access with its abstract address. */
+struct AccessBound {
+    int instrIndex = 0;
+    bool transient = false;
+    bool isLoad = false;
+    AbsValue addr;
+};
+
+/** What the fixpoint derived for a program. */
+struct AbstractResult {
+    /** Every reachable access, architectural and transient, in
+     *  instruction order. */
+    std::vector<AccessBound> accesses;
+
+    /** @return true when every architectural access address is a
+     *  single concrete constant (independent of the initial state). */
+    bool allArchConstant() const;
+    /** @return true when every access (incl. transient) is constant. */
+    bool allConstant() const;
+    /** @return union of the class bounds of all architectural
+     *  accesses (size geom.numSets; all-false when no accesses). */
+    std::vector<bool> archClassMask(const obs::CacheGeometry &geom) const;
+};
+
+/**
+ * Run the abstract interpretation over `p` (which must validate()).
+ * Pure function of the program: no RNG, no clock, no globals.
+ */
+AbstractResult analyzeProgram(const bir::Program &p);
+
+} // namespace scamv::triage
+
+#endif // SCAMV_TRIAGE_ABSDOM_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Campaign findings: minimized counterexamples clustered by leak
+ * mechanism.
+ *
+ * Every confirmed counterexample becomes a `Finding` carrying the
+ * (possibly minimized) witness program and test case plus a
+ * *mechanism signature* — which microarchitectural feature carries
+ * the leak (prefetch spill, speculative load, or a plain cache-set
+ * collision), concatenated with the shape of the minimized core — so
+ * a thousand-program campaign exports as a handful of deduplicated
+ * clusters.  The export format is `scamv-findings-v1` JSON, written
+ * to `SCAMV_FINDINGS_FILE` by the pipeline; key order and number
+ * formatting are fixed so the file is byte-identical for any thread
+ * or shard count (findings are ordered by program index, clusters by
+ * signature).
+ */
+
+#ifndef SCAMV_TRIAGE_FINDINGS_HH
+#define SCAMV_TRIAGE_FINDINGS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bir/bir.hh"
+#include "harness/platform.hh"
+
+namespace scamv::triage {
+
+/** One confirmed (and usually minimized) leak. */
+struct Finding {
+    /** Campaign program index (global merge ordering key). */
+    int progIndex = 0;
+    /** Generated program's name. */
+    std::string program;
+    /** Leak mechanism: "prefetch_spill", "speculative_load" or
+     *  "cache_set_collision". */
+    std::string mechanism;
+    /** Cluster key: mechanism + "/" + shapeSignature(core). */
+    std::string signature;
+    /** True when the minimizer shrank the witness. */
+    bool minimized = false;
+    /** True when minimization was skipped (fault injection) or the
+     *  baseline did not reproduce — the original witness is kept. */
+    bool degraded = false;
+    int instrsBefore = 0;
+    int instrsAfter = 0;
+    int stateBitsBefore = 0;
+    int stateBitsAfter = 0;
+    /** Textual assembly of the (minimized) witness program. */
+    std::string core;
+    /** The (minimized) witness test case. */
+    harness::TestCase tc;
+
+    bool operator==(const Finding &) const = default;
+};
+
+/** Total set bits across both states' registers and memory words
+ *  (addresses and values) — the minimizer's state-size metric. */
+int stateBitCount(const harness::TestCase &tc);
+
+/**
+ * Canonical shape of a program: comma-separated instruction tokens
+ * ("mov", "add", "ld", "st", "br", "j", "halt", ALU ops by mnemonic),
+ * transient statements prefixed "t:".  Registers and immediates are
+ * deliberately erased so isomorphic leaks cluster together.
+ */
+std::string shapeSignature(const bir::Program &p);
+
+/**
+ * Classify the leak mechanism of a confirmed counterexample.  A
+ * speculative refinement pair (Mspec/Mspec1/MspecPage as M2) is
+ * "speculative_load" by construction — the refined observations only
+ * exist transiently.  Otherwise the witness is re-run on a platform
+ * with the prefetcher disabled (fresh deterministic platform derived
+ * from `seed`; runs under a scratch registry and fault suppression):
+ * if the leak disappears it was a "prefetch_spill", else a plain
+ * "cache_set_collision".
+ */
+std::string classifyMechanism(const bir::Program &prog,
+                              const harness::TestCase &tc,
+                              const std::optional<harness::ProgramInput> &training,
+                              bool speculativeRefinement,
+                              const harness::PlatformConfig &platform,
+                              std::uint64_t seed);
+
+/**
+ * Render findings as `scamv-findings-v1` JSON: clusters sorted by
+ * signature, findings within a cluster by program index.  Pure
+ * function of the list; fixed key order and hex value formatting
+ * make equal lists render byte-identically.
+ */
+std::string findingsToJson(const std::vector<Finding> &findings);
+
+/** Write `findingsToJson` to `path`.  @return false on I/O failure. */
+bool writeFindings(const std::vector<Finding> &findings,
+                   const std::string &path);
+
+} // namespace scamv::triage
+
+#endif // SCAMV_TRIAGE_FINDINGS_HH

@@ -1,0 +1,242 @@
+#include "triage/minimize.hh"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/faults.hh"
+#include "support/metrics.hh"
+
+namespace scamv::triage {
+namespace {
+
+KeepMask
+maskOf(int n, const std::vector<int> &kept)
+{
+    KeepMask mask(static_cast<std::size_t>(n), false);
+    for (int i : kept)
+        mask[static_cast<std::size_t>(i)] = true;
+    return mask;
+}
+
+} // namespace
+
+KeepMask
+ddmin(int n, const Predicate &pred, int &evalBudget)
+{
+    std::vector<int> current(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        current[static_cast<std::size_t>(i)] = i;
+
+    const auto eval = [&](const std::vector<int> &kept) {
+        if (evalBudget <= 0)
+            return false;
+        --evalBudget;
+        return pred(maskOf(n, kept));
+    };
+
+    // Complement-reduction loop (classic ddmin without the subset
+    // probes, which rarely pay off on leak reproduction predicates).
+    std::size_t granularity = 2;
+    while (current.size() >= 2 && evalBudget > 0) {
+        granularity = std::min(granularity, current.size());
+        const std::size_t chunk =
+            (current.size() + granularity - 1) / granularity;
+        bool reduced = false;
+        for (std::size_t start = 0;
+             start < current.size() && evalBudget > 0; start += chunk) {
+            std::vector<int> complement;
+            complement.reserve(current.size());
+            for (std::size_t i = 0; i < current.size(); ++i)
+                if (i < start || i >= start + chunk)
+                    complement.push_back(current[i]);
+            if (complement.empty())
+                continue;
+            if (eval(complement)) {
+                current = std::move(complement);
+                granularity = std::max<std::size_t>(granularity - 1, 2);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (granularity >= current.size())
+                break;
+            granularity = std::min(granularity * 2, current.size());
+        }
+    }
+
+    // Final singleton sweep: guarantees 1-minimality when the budget
+    // allows (removing any single kept item falsifies the predicate).
+    for (std::size_t i = 0; i < current.size() && current.size() > 1;) {
+        if (evalBudget <= 0)
+            break;
+        std::vector<int> without = current;
+        without.erase(without.begin() + static_cast<std::ptrdiff_t>(i));
+        if (eval(without))
+            current = std::move(without); // re-test the same position
+        else
+            ++i;
+    }
+
+    return maskOf(n, current);
+}
+
+bir::Program
+dropInstrs(const bir::Program &p, const KeepMask &keep)
+{
+    const int n = static_cast<int>(p.size());
+    // keptBefore[t] = surviving instructions at indices < t, which is
+    // exactly the new index of the first survivor at or after t.
+    std::vector<int> keptBefore(static_cast<std::size_t>(n) + 1, 0);
+    for (int i = 0; i < n; ++i)
+        keptBefore[static_cast<std::size_t>(i) + 1] =
+            keptBefore[static_cast<std::size_t>(i)] +
+            (i < static_cast<int>(keep.size()) && keep[i] ? 1 : 0);
+
+    bir::Program out(p.name());
+    for (int i = 0; i < n; ++i) {
+        if (i >= static_cast<int>(keep.size()) || !keep[i])
+            continue;
+        bir::Instr ins = p[static_cast<std::size_t>(i)];
+        if (ins.target >= 0 && ins.target <= n)
+            ins.target = keptBefore[static_cast<std::size_t>(ins.target)];
+        out.push(ins);
+    }
+    return out;
+}
+
+MinimizeResult
+minimizeCounterexample(const bir::Program &prog,
+                       const harness::TestCase &tc,
+                       const MinimizeConfig &cfg)
+{
+    // Isolation: candidate experiments must not leak instrumentation
+    // into the task's registry nor advance fault attempt counters —
+    // either would make artifacts depend on whether minimization ran.
+    metrics::Registry scratch(metrics::ClockMode::Deterministic);
+    metrics::ScopedRegistry scoped(scratch);
+    faults::ScopedSuppress suppress;
+
+    MinimizeResult res{prog, tc, 0};
+    int budget = cfg.evalBudget;
+
+    const auto reproduces = [&](const bir::Program &cand,
+                                const harness::TestCase &ctc) {
+        harness::Platform platform(cfg.platform,
+                                   cfg.seed ^ 0x7a1a6eULL);
+        return platform.runExperiment(cand, ctc, cfg.training)
+                   .verdict == harness::Verdict::Counterexample;
+    };
+
+    // Baseline: the evaluation platform must itself reproduce the
+    // leak, or every reduction test would be meaningless (possible
+    // under nonzero noiseProbability) — return the inputs unshrunk.
+    if (budget <= 0)
+        return res;
+    --budget;
+    if (!reproduces(prog, tc)) {
+        res.evalsUsed = cfg.evalBudget - budget;
+        return res;
+    }
+
+    // Stage 1: ddmin over statements.
+    const Predicate stmtPred = [&](const KeepMask &keep) {
+        const bir::Program cand = dropInstrs(prog, keep);
+        if (cand.empty() || !cand.validate().empty())
+            return false;
+        return reproduces(cand, tc);
+    };
+    const KeepMask keptStmts =
+        ddmin(static_cast<int>(prog.size()), stmtPred, budget);
+    bir::Program cur = dropInstrs(prog, keptStmts);
+
+    // Stage 2: ddmin over initial-state atoms.  An atom is either
+    // "register r is nonzero in some state" (dropping zeroes it in
+    // both) or one memory entry of one state (dropping removes it).
+    struct Atom {
+        enum class Kind { Reg, Mem1, Mem2 } kind;
+        int index;
+    };
+    std::vector<Atom> atoms;
+    for (int r = 0; r < bir::kNumRegs; ++r)
+        if (tc.s1.regs.regs[static_cast<std::size_t>(r)] != 0 ||
+            tc.s2.regs.regs[static_cast<std::size_t>(r)] != 0)
+            atoms.push_back({Atom::Kind::Reg, r});
+    for (int i = 0; i < static_cast<int>(tc.s1.mem.size()); ++i)
+        atoms.push_back({Atom::Kind::Mem1, i});
+    for (int i = 0; i < static_cast<int>(tc.s2.mem.size()); ++i)
+        atoms.push_back({Atom::Kind::Mem2, i});
+
+    const auto applyAtoms = [&](const KeepMask &keep) {
+        harness::TestCase out = tc;
+        std::vector<bool> keepMem1(tc.s1.mem.size(), true);
+        std::vector<bool> keepMem2(tc.s2.mem.size(), true);
+        for (std::size_t i = 0; i < atoms.size(); ++i) {
+            if (keep[i])
+                continue;
+            const Atom &a = atoms[i];
+            switch (a.kind) {
+            case Atom::Kind::Reg:
+                out.s1.regs.regs[static_cast<std::size_t>(a.index)] = 0;
+                out.s2.regs.regs[static_cast<std::size_t>(a.index)] = 0;
+                break;
+            case Atom::Kind::Mem1:
+                keepMem1[static_cast<std::size_t>(a.index)] = false;
+                break;
+            case Atom::Kind::Mem2:
+                keepMem2[static_cast<std::size_t>(a.index)] = false;
+                break;
+            }
+        }
+        const auto filter = [](const harness::MemInit &mem,
+                               const std::vector<bool> &keep_entry) {
+            harness::MemInit out_mem;
+            for (std::size_t i = 0; i < mem.size(); ++i)
+                if (keep_entry[i])
+                    out_mem.push_back(mem[i]);
+            return out_mem;
+        };
+        out.s1.mem = filter(tc.s1.mem, keepMem1);
+        out.s2.mem = filter(tc.s2.mem, keepMem2);
+        return out;
+    };
+
+    const Predicate atomPred = [&](const KeepMask &keep) {
+        return reproduces(cur, applyAtoms(keep));
+    };
+    const KeepMask keptAtoms =
+        ddmin(static_cast<int>(atoms.size()), atomPred, budget);
+    harness::TestCase best = applyAtoms(keptAtoms);
+
+    // Stage 3: greedy bit-clearing over the surviving register and
+    // memory *values* (addresses stay put: clearing address bits
+    // moves the access, which changes the leak rather than shrinks
+    // its witness).
+    const auto clearBits = [&](std::uint64_t &slot) {
+        for (int b = 63; b >= 0 && budget > 0; --b) {
+            const std::uint64_t bit = 1ULL << b;
+            if (!(slot & bit))
+                continue;
+            const std::uint64_t saved = slot;
+            slot &= ~bit;
+            --budget;
+            if (!reproduces(cur, best))
+                slot = saved;
+        }
+    };
+    for (int r = 0; r < bir::kNumRegs; ++r) {
+        clearBits(best.s1.regs.regs[static_cast<std::size_t>(r)]);
+        clearBits(best.s2.regs.regs[static_cast<std::size_t>(r)]);
+    }
+    for (auto &entry : best.s1.mem)
+        clearBits(entry.second);
+    for (auto &entry : best.s2.mem)
+        clearBits(entry.second);
+
+    res.program = std::move(cur);
+    res.tc = std::move(best);
+    res.evalsUsed = cfg.evalBudget - budget;
+    return res;
+}
+
+} // namespace scamv::triage

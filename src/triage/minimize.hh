@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Counterexample minimizer (triage stage 2).
+ *
+ * Shrinks a confirmed counterexample — a (program, test case) pair
+ * the experiment platform classifies as `Counterexample` — to a
+ * minimal leaking core with Zeller/Hildebrandt delta debugging:
+ * ddmin over the program's statements first, then over the initial
+ * state's atoms (registers and memory entries), then a greedy
+ * bit-clearing pass over the surviving values.  Every candidate is
+ * re-validated through the same single-experiment API the campaign
+ * used to confirm the original (`harness::Platform::runExperiment`),
+ * so a reduction is kept only when it still reproduces the leak.
+ *
+ * Determinism: each candidate evaluation constructs a fresh
+ * `Platform` from a seed derived only from `MinimizeConfig::seed`, and
+ * the whole shrink runs under a scratch deterministic metrics registry
+ * and a fault-injection suppression scope — the minimizer never
+ * touches the task's RNG streams, the solver, the query cache or the
+ * fault plan's attempt counters, which is what keeps campaign
+ * artifacts byte-identical whether or not minimization runs between
+ * programs on different threads.
+ */
+
+#ifndef SCAMV_TRIAGE_MINIMIZE_HH
+#define SCAMV_TRIAGE_MINIMIZE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bir/bir.hh"
+#include "harness/platform.hh"
+
+namespace scamv::triage {
+
+/** Subset of n items under reduction: keep[i] == item i retained. */
+using KeepMask = std::vector<bool>;
+
+/** Interestingness test: true when the kept subset still "fails"
+ *  (for us: still reproduces the counterexample). */
+using Predicate = std::function<bool(const KeepMask &)>;
+
+/**
+ * Classic ddmin over `n` items.  The predicate must hold for the
+ * all-true mask (caller's responsibility).  Decrements `evalBudget`
+ * once per predicate evaluation and stops shrinking when it hits 0 —
+ * the result is then still a valid (just possibly non-minimal)
+ * reduction.  With budget to spare the result is 1-minimal: removing
+ * any single kept item makes the predicate fail.
+ */
+KeepMask ddmin(int n, const Predicate &pred, int &evalBudget);
+
+/**
+ * Drop the instructions with keep[i] == false, remapping branch/jump
+ * targets: a target is moved to the first surviving instruction at or
+ * after it (targets one past the end stay one past the new end).  The
+ * result may fail `validate()` — e.g. a dropped trailing halt — and
+ * the minimizer treats invalid candidates as uninteresting.
+ */
+bir::Program dropInstrs(const bir::Program &p, const KeepMask &keep);
+
+/** How to re-validate candidates. */
+struct MinimizeConfig {
+    /** Platform the counterexample was confirmed on. */
+    harness::PlatformConfig platform;
+    /** Seed for the evaluation platforms (derive from the campaign's
+     *  program seed for reproducibility). */
+    std::uint64_t seed = 1;
+    /** Predictor-training input, when the campaign used one. */
+    std::optional<harness::ProgramInput> training;
+    /** Maximum predicate evaluations across all stages. */
+    int evalBudget = 384;
+};
+
+/** A shrunk counterexample. */
+struct MinimizeResult {
+    bir::Program program;
+    harness::TestCase tc;
+    /** Predicate evaluations actually spent. */
+    int evalsUsed = 0;
+};
+
+/**
+ * Shrink (prog, tc).  If the evaluation platform cannot reproduce the
+ * original counterexample (possible under nonzero noiseProbability),
+ * the inputs are returned unshrunk — degradation, never corruption.
+ */
+MinimizeResult minimizeCounterexample(const bir::Program &prog,
+                                      const harness::TestCase &tc,
+                                      const MinimizeConfig &cfg);
+
+} // namespace scamv::triage
+
+#endif // SCAMV_TRIAGE_MINIMIZE_HH

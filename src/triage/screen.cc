@@ -1,0 +1,103 @@
+#include "triage/screen.hh"
+
+namespace scamv::triage {
+namespace {
+
+/** Refinement pairs whose refined-only observations come exclusively
+ *  from transient (shadow) statements. */
+bool
+isSpecPair(obs::ModelKind m1, obs::ModelKind m2)
+{
+    using obs::ModelKind;
+    return (m1 == ModelKind::Mct && (m2 == ModelKind::Mspec ||
+                                     m2 == ModelKind::Mspec1)) ||
+           (m1 == ModelKind::Mpage && m2 == ModelKind::MspecPage);
+}
+
+} // namespace
+
+ScreenResult
+screenProgram(const bir::Program &model_prog, obs::ModelKind m1,
+              obs::ModelKind m2, const obs::ModelParams &params)
+{
+    ScreenResult res;
+    const AbstractResult ar = analyzeProgram(model_prog);
+    res.classMask = ar.archClassMask(params.geom);
+
+    const auto boring = [&](const char *reason) {
+        res.verdict = ScreenVerdict::Boring;
+        res.reason = reason;
+    };
+
+    if (m1 == m2) {
+        // The refined-only list is empty on every path: every pair is
+        // dropped by the relation synthesizer before solving.
+        boring("identical-models");
+        return res;
+    }
+
+    if (isSpecPair(m1, m2)) {
+        // The refined-only observations of a speculative pair come
+        // only from transient statements (Mspec: any transient
+        // access; Mspec1: the first transient load).  Without those
+        // statements the refined lists are empty on every path — a
+        // purely structural, branch-insensitive criterion.
+        bool any_access = false, any_load = false;
+        for (const bir::Instr &ins : model_prog.instrs()) {
+            if (!ins.transient)
+                continue;
+            any_access |= ins.isMemAccess();
+            any_load |= ins.kind == bir::InstrKind::Load;
+        }
+        const bool refined_empty =
+            m2 == obs::ModelKind::Mspec1 ? !any_load : !any_access;
+        if (refined_empty) {
+            boring("no-transient");
+            return res;
+        }
+    }
+
+    const bool branchless = model_prog.branchCount() == 0;
+
+    if (m1 == obs::ModelKind::Mpart &&
+        m2 == obs::ModelKind::MpartRefined && branchless) {
+        // Every reachable address provably inside the attacker window
+        // means AR(addr) is true for any initial state: Mpart's
+        // ite(AR, addr, 0) degenerates to addr, the base equality
+        // pins the addresses, and the refined any-line disequality of
+        // the single path pair is unsatisfiable.
+        bool contained = true;
+        for (const AccessBound &a : ar.accesses) {
+            if (a.transient)
+                continue; // Mpart observes architectural accesses only
+            const std::vector<bool> mask =
+                classBound(a.addr, params.geom);
+            for (std::uint64_t c = 0; c < params.geom.numSets; ++c) {
+                if (mask[c] && (c < params.attacker.loSet ||
+                                c > params.attacker.hiSet)) {
+                    contained = false;
+                    break;
+                }
+            }
+            if (!contained)
+                break;
+        }
+        if (contained) {
+            boring("ar-contained");
+            return res;
+        }
+    }
+
+    if (branchless && ar.allConstant()) {
+        // A single path pair whose every observation — for any model
+        // shape: pc, address, line, page, attacker-conditional — is
+        // the same constant on both sides: the refined disequality is
+        // unsatisfiable.
+        boring("constant-footprint");
+        return res;
+    }
+
+    return res;
+}
+
+} // namespace scamv::triage

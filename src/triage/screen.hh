@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Abstract-cache pre-screen (triage stage 1).
+ *
+ * Decides, before symbolic execution, whether a generated (and, for
+ * speculative models, instrumented) program can possibly produce a
+ * refined-model observation difference across the relation's state
+ * pairs.  When the abstraction *proves* it cannot, the program is
+ * `Boring`: every path pair of the relation is unsatisfiable (or
+ * dropped by the synthesizer before solving), so the pipeline may
+ * skip symbolic execution, relation synthesis and SMT without
+ * changing a single verdict or database record — the screen only
+ * skips work that is provably fruitless (ctest's differential test
+ * enforces exactly this).
+ *
+ * The four criteria, each with its soundness argument spelled out in
+ * DESIGN.md §13:
+ *
+ *  - "identical-models":   M1 == M2 — the refined-only observation
+ *    list is empty on every path, so the synthesizer drops every
+ *    pair.
+ *  - "no-transient":       a speculative refinement pair (Mct/Mspec,
+ *    Mct/Mspec1, Mpage/MspecPage) over a program with no transient
+ *    memory access (respectively: no transient load) — the refined
+ *    lists are empty on every path and every pair is dropped.
+ *  - "ar-contained":       Mpart/Mpart' over a *branchless* program
+ *    whose every reachable access address provably maps into the
+ *    attacker window [loSet, hiSet] — AR(addr) is semantically true,
+ *    so M1's conditional observation pins the addresses equal and the
+ *    refined any-line disequality is unsatisfiable.
+ *  - "constant-footprint": a branchless program whose every reachable
+ *    access address (architectural and transient) is a single
+ *    constant — both sides of the single diagonal path pair observe
+ *    identical constants, so the refined disequality is
+ *    unsatisfiable.
+ *
+ * The branchless restriction on the last two is load-bearing: with
+ * multiple paths, cross pairs whose refined lists differ in *length*
+ * are kept by the synthesizer without the disequality constraint
+ * (rel/relation.cc, refinedTriviallyDiffer), so experiments would
+ * still run.
+ *
+ * The screen also exports the architectural class mask of the
+ * program (`ScreenResult::classMask`) — computed for every screened
+ * program, Boring or not — which the adaptive scheduler consults so
+ * coverage draws skip classes the program provably cannot touch.
+ */
+
+#ifndef SCAMV_TRIAGE_SCREEN_HH
+#define SCAMV_TRIAGE_SCREEN_HH
+
+#include <string>
+#include <vector>
+
+#include "bir/bir.hh"
+#include "obs/models.hh"
+#include "triage/absdom.hh"
+
+namespace scamv::triage {
+
+enum class ScreenVerdict {
+    Interesting, ///< the abstraction cannot rule the program out
+    Boring       ///< provably no refined observation can differ
+};
+
+struct ScreenResult {
+    ScreenVerdict verdict = ScreenVerdict::Interesting;
+    /** Boring criterion ("identical-models", "no-transient",
+     *  "ar-contained", "constant-footprint"); empty if Interesting. */
+    std::string reason;
+    /** Union class bound of the architectural accesses (size
+     *  geom.numSets); consumed by cover::planClassAllowed. */
+    std::vector<bool> classMask;
+};
+
+/**
+ * Screen one program.  `model_prog` is the program as the symbolic
+ * executor would see it (instrumented when the configuration needs
+ * shadow statements); `m1`/`m2` are the refinement pair.  Pure
+ * function of its arguments — no RNG, clock or solver — which is what
+ * keeps screened campaigns byte-identical across threads and shards.
+ * Only meaningful under refinement (the pipeline never consults the
+ * screen without an M2).
+ */
+ScreenResult screenProgram(const bir::Program &model_prog,
+                           obs::ModelKind m1, obs::ModelKind m2,
+                           const obs::ModelParams &params);
+
+} // namespace scamv::triage
+
+#endif // SCAMV_TRIAGE_SCREEN_HH

@@ -65,6 +65,38 @@ TEST(Metrics, HistogramBucketingEdgeCases)
     EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.01 + 2.0 + 4.0 + 4.01 + 1e30);
 }
 
+TEST(Metrics, QuantileEdgeCases)
+{
+    // Empty histogram: every quantile is 0 by convention.
+    HistogramData empty;
+    empty.bounds = {1.0, 2.0};
+    empty.counts = {0, 0, 0};
+    EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+    // Degenerate: no bounds at all.
+    HistogramData bare;
+    EXPECT_DOUBLE_EQ(bare.quantile(0.5), 0.0);
+
+    // Single sample in bucket (1, 2]: q=0 interpolates to the bucket
+    // floor, q=1 to its ceiling.
+    HistogramData single;
+    single.bounds = {1.0, 2.0};
+    single.counts = {0, 1, 0};
+    single.sum = 1.5;
+    single.count = 1;
+    EXPECT_DOUBLE_EQ(single.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(single.quantile(1.0), 2.0);
+
+    // Samples in the overflow bucket clamp to the last finite bound.
+    HistogramData overflow;
+    overflow.bounds = {1.0, 2.0};
+    overflow.counts = {0, 0, 3};
+    overflow.count = 3;
+    EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(overflow.quantile(1.0), 2.0);
+}
+
 TEST(Metrics, HistogramBoundsMustAgreeOnReLookup)
 {
     Registry reg;

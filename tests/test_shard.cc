@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -21,8 +23,10 @@
 
 #include "core/pipeline.hh"
 #include "shard/shard.hh"
+#include "support/env.hh"
 #include "support/faults.hh"
 #include "support/metrics.hh"
+#include "support/rng.hh"
 #include "support/qcache/qcache.hh"
 
 namespace fs = std::filesystem;
@@ -705,4 +709,228 @@ TEST_F(ShardTest, AdaptiveShardingIsDeterministicAndCounted)
                           shard::kDbFile, shard::kStatsFile})
         EXPECT_EQ(readFile(root + "/" + f), snapshot[at++])
             << "artifact " << f << " not deterministic";
+}
+
+// ---------------------------------------------------------------
+// Satellite: planner with more shards than programs — the extra
+// shards get empty slices and the partition stays exhaustive.
+
+TEST(ShardPlan, MoreShardsThanProgramsYieldsEmptySlices)
+{
+    for (const int programs : {0, 1, 3}) {
+        const int n = 8;
+        int next = 0, empty = 0;
+        for (int i = 0; i < n; ++i) {
+            const shard::Slice s = shard::planShard(9, programs, n, i);
+            EXPECT_EQ(s.first, next);
+            EXPECT_GE(s.count, 0);
+            EXPECT_LE(s.count, 1);
+            if (s.count == 0)
+                ++empty;
+            next += s.count;
+        }
+        EXPECT_EQ(next, programs);
+        EXPECT_EQ(empty, n - programs);
+    }
+}
+
+// ---------------------------------------------------------------
+// Property fuzz: randomly generated slices — hostile strings,
+// non-finite doubles, empty states — round-trip byte-identically
+// through the artifact codec.
+
+namespace {
+
+/** SCAMV_FUZZ_ITERS scale, like test_solver_fuzz. */
+int
+fuzzIters(int base)
+{
+    static const int scale = static_cast<int>(
+        envLong("SCAMV_FUZZ_ITERS", 1, 1000).value_or(1));
+    return base * scale;
+}
+
+/** Random text exercising every escaping path of the codec. */
+std::string
+randomText(Rng &rng)
+{
+    static const char *const kAtoms[] = {
+        "plain", "with space", "%", "%%20", "-", "#", "a\nb",
+        "tab\there", "\x01\x02", "trailing ", " leading", "",
+        "100% done", "\x1f\x7f", "nan", "0x,:;|",
+    };
+    std::string out;
+    const int parts = static_cast<int>(rng.below(4));
+    for (int i = 0; i < parts; ++i)
+        out += kAtoms[rng.below(std::size(kAtoms))];
+    return out;
+}
+
+/** Random double including the non-finite and signed-zero cases. */
+double
+randomDouble(Rng &rng)
+{
+    switch (rng.below(8)) {
+    case 0: return 0.0;
+    case 1: return -0.0;
+    case 2: return std::numeric_limits<double>::infinity();
+    case 3: return -std::numeric_limits<double>::infinity();
+    case 4: return std::numeric_limits<double>::quiet_NaN();
+    case 5: return 0.1 * static_cast<double>(rng.below(1000));
+    case 6: return 1e-300 * static_cast<double>(rng.below(100));
+    default:
+        return static_cast<double>(static_cast<std::int64_t>(
+                   rng.next())) *
+               1e10;
+    }
+}
+
+/** Random test case; frequently the all-empty edge. */
+harness::TestCase
+randomCase(Rng &rng)
+{
+    harness::TestCase tc;
+    if (rng.below(3) == 0)
+        return tc; // empty states
+    const int regs = static_cast<int>(rng.below(4));
+    for (int i = 0; i < regs; ++i)
+        tc.s1.regs.regs[rng.below(bir::kNumRegs)] = rng.next();
+    const int mems = static_cast<int>(rng.below(3));
+    for (int i = 0; i < mems; ++i) {
+        tc.s1.mem.emplace_back(0x80000 + 8 * rng.below(64),
+                               rng.next());
+        tc.s2.mem.emplace_back(0x80000 + 8 * rng.below(64),
+                               rng.below(2) ? rng.next() : 0);
+    }
+    if (rng.below(2))
+        tc.s2.regs.regs[rng.below(bir::kNumRegs)] = rng.next();
+    return tc;
+}
+
+metrics::Snapshot
+randomSnapshot(Rng &rng)
+{
+    metrics::Snapshot snap;
+    const int counters = static_cast<int>(rng.below(3));
+    for (int i = 0; i < counters; ++i)
+        snap.counters["c." + std::to_string(rng.below(5))] =
+            static_cast<std::int64_t>(rng.next());
+    if (rng.below(2))
+        snap.gauges["g.fuzz"] = randomDouble(rng);
+    if (rng.below(2)) {
+        metrics::HistogramData h;
+        const int buckets = static_cast<int>(rng.below(3)) + 1;
+        for (int i = 0; i < buckets; ++i)
+            h.bounds.push_back(static_cast<double>(i + 1));
+        h.counts.assign(h.bounds.size() + 1, 0);
+        for (auto &c : h.counts)
+            c = rng.below(10);
+        h.sum = randomDouble(rng);
+        h.count = rng.below(40);
+        snap.histograms["h.fuzz"] = h;
+    }
+    return snap;
+}
+
+core::ProgramOutcome
+randomOutcome(Rng &rng)
+{
+    core::ProgramOutcome o;
+    o.hasCex = rng.below(2) != 0;
+    o.failed = rng.below(4) == 0;
+    o.quarantined = rng.below(4) == 0;
+    o.name = randomText(rng);
+    o.firstCexOffsetSeconds = rng.below(2) ? randomDouble(rng) : -1.0;
+    o.taskSeconds = randomDouble(rng);
+    o.metrics = randomSnapshot(rng);
+    if (rng.below(2)) {
+        o.coverDelta.templ = randomText(rng);
+        o.coverDelta.model = randomText(rng);
+        o.coverDelta.universe = rng.below(129);
+        o.coverDelta.verdicts.experiments =
+            static_cast<std::int64_t>(rng.below(100));
+        o.coverDelta.classes[static_cast<int>(rng.below(128))] =
+            cover::ClassStats{static_cast<std::int64_t>(rng.below(9)),
+                              static_cast<std::int64_t>(rng.below(9)),
+                              randomDouble(rng)};
+        o.coverDelta.pathPairs[randomText(rng)] =
+            static_cast<std::int64_t>(rng.below(50));
+    }
+    const int records = static_cast<int>(rng.below(3));
+    for (int i = 0; i < records; ++i) {
+        core::ExperimentRecord r;
+        r.programName = randomText(rng);
+        r.programText = randomText(rng);
+        r.pathId = randomText(rng);
+        r.testCase = randomCase(rng);
+        r.trained = rng.below(2) != 0;
+        r.lineClass1 = static_cast<int>(rng.below(130)) - 1;
+        r.lineClass2 = static_cast<int>(rng.below(130)) - 1;
+        r.verdict = static_cast<harness::Verdict>(rng.below(3));
+        r.differingReps = static_cast<int>(rng.below(11));
+        r.totalReps = 10;
+        o.records.push_back(std::move(r));
+    }
+    const int findings = static_cast<int>(rng.below(3));
+    for (int i = 0; i < findings; ++i) {
+        triage::Finding f;
+        f.progIndex = static_cast<int>(rng.below(1000));
+        f.program = randomText(rng);
+        f.mechanism = randomText(rng);
+        f.signature = randomText(rng);
+        f.minimized = rng.below(2) != 0;
+        f.degraded = rng.below(2) != 0;
+        f.instrsBefore = static_cast<int>(rng.below(40));
+        f.instrsAfter = static_cast<int>(rng.below(40));
+        f.stateBitsBefore = static_cast<int>(rng.below(200));
+        f.stateBitsAfter = static_cast<int>(rng.below(200));
+        f.core = randomText(rng);
+        f.tc = randomCase(rng);
+        o.findings.push_back(std::move(f));
+    }
+    return o;
+}
+
+} // namespace
+
+TEST(ShardCodecFuzz, RandomSlicesRoundTripByteIdentically)
+{
+    Rng rng(0xc0dec);
+    for (int iter = 0; iter < fuzzIters(40); ++iter) {
+        core::CampaignSlice slice;
+        slice.count = static_cast<int>(rng.below(5));
+        slice.first = static_cast<int>(rng.below(20));
+        slice.earlyStopped = static_cast<int>(rng.below(3));
+        slice.scheduleLocal = rng.below(2) != 0;
+        slice.outcomes.resize(
+            static_cast<std::size_t>(slice.count));
+        for (auto &o : slice.outcomes)
+            if (rng.below(5) != 0) // leave some slots empty
+                o = randomOutcome(rng);
+
+        core::PipelineConfig cfg;
+        cfg.seed = rng.next();
+        cfg.programs = slice.first + slice.count +
+                       static_cast<int>(rng.below(10));
+        const shard::ShardSpec spec{
+            static_cast<int>(rng.below(4)),
+            static_cast<int>(rng.below(4)) + 4};
+
+        const std::string text = shard::encodeSlice(slice, spec, cfg);
+        const auto dec = shard::decodeSlice(text);
+        ASSERT_TRUE(dec.has_value()) << "iter " << iter;
+        EXPECT_EQ(dec->droppedGroups, 0u) << "iter " << iter;
+        EXPECT_EQ(dec->seed, cfg.seed);
+        EXPECT_EQ(dec->programs, cfg.programs);
+
+        // The decisive property: re-encoding the decoded slice
+        // reproduces the artifact byte for byte (NaN/inf doubles,
+        // escaped strings, empty states and all).
+        core::PipelineConfig cfg2;
+        cfg2.seed = dec->seed;
+        cfg2.programs = dec->programs;
+        EXPECT_EQ(shard::encodeSlice(dec->slice, dec->spec, cfg2),
+                  text)
+            << "iter " << iter;
+    }
 }
