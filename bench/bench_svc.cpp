@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Campaign service bench: runs the N-standalone-campaigns vs
+ * N-through-scamvd comparison of bench/svc_report.hh and emits
+ * `BENCH_svc.json`.  Exits non-zero when the shared cross-campaign
+ * qcache neither pays for itself (aggregate wall clock or avoided
+ * solver work) nor preserves byte-identical campaign artifacts, so
+ * CI catches both efficiency and soundness regressions.
+ */
+
+#include <cstdio>
+
+#include "svc_report.hh"
+
+int
+main()
+{
+    const bool ok = scamv::benchsupport::writeSvcReport();
+    if (!ok)
+        std::printf("[svc] FAILED (see BENCH_svc.json)\n");
+    return ok ? 0 : 1;
+}

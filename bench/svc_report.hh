@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Shared bench helper: measure the campaign service's shared
+ * cross-campaign qcache (src/svc) and emit `BENCH_svc.json`
+ * (schema "scamv-svc-v1").
+ *
+ * A multi-tenant shop re-runs near-identical campaigns all day
+ * (re-validating a model after every harness tweak), and without the
+ * service each run re-solves the same SMT queries from scratch.  The
+ * bench runs N identical campaigns both ways:
+ *
+ *  - standalone: each campaign through the shard worker/merge
+ *    machinery with its own private qcache — what N one-shot CLI
+ *    invocations cost;
+ *  - service: the same N submissions through one `svc::Service`,
+ *    whose shared checkpoint seeds every campaign after the first.
+ *
+ * Gates: the aggregate wall-clock speedup must reach
+ * `kMinSvcSpeedup` *or* the shared cache must avoid at least
+ * `kMinSvcSolvesAvoided` of the standalone cache misses (cache-miss
+ * counts are exact and host-independent; the wall clock is the
+ * honest end-to-end number — the same disjunction as the triage
+ * gate).  And every service campaign's deterministic artifacts
+ * (metrics / coverage / db / stats) must be byte-identical to its
+ * standalone run — invariant 10 — a gate that never relaxes.
+ */
+
+#ifndef SCAMV_BENCH_SVC_REPORT_HH
+#define SCAMV_BENCH_SVC_REPORT_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cover/ledger.hh"
+#include "shard/shard.hh"
+#include "support/metrics.hh"
+#include "support/stopwatch.hh"
+#include "svc/svc.hh"
+
+namespace scamv::benchsupport {
+
+/** Required standalone : service aggregate wall-clock advantage. */
+inline constexpr double kMinSvcSpeedup = 1.3;
+
+/** Alternative gate: fraction of standalone cache misses (actual
+ *  solver work) the shared checkpoint must avoid. */
+inline constexpr double kMinSvcSolvesAvoided = 0.3;
+
+namespace svc_detail {
+
+inline std::uint64_t
+globalCounter(const char *name)
+{
+    return metrics::Registry::global().counter(name).value();
+}
+
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return in ? text.str() : std::string("<unreadable:" + path + ">");
+}
+
+/** The repeated campaign: the shard bench's workload family. */
+inline svc::SubmissionSpec
+tenantSpec()
+{
+    svc::SubmissionSpec spec;
+    spec.programs =
+        std::max(6, core::scaled(10, core::scaleFromEnv(1.0)));
+    spec.tests = 3;
+    spec.seed = 7;
+    return spec;
+}
+
+/** One standalone campaign: worker per shard + coordinator merge,
+ *  exactly the scamv_worker / scamv_merge CLI path. */
+inline bool
+runStandalone(const svc::SubmissionSpec &spec, int shards,
+              const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (int i = 0; i < shards; ++i) {
+        fs::create_directories(shard::shardDir(root, i), ec);
+        core::PipelineConfig cfg = svc::campaignConfig(spec);
+        cover::CoverageLedger ledger;
+        cfg.coverageLedger = &ledger;
+        if (!shard::runWorker(cfg, shard::ShardSpec{i, shards},
+                              shard::shardDir(root, i))
+                 .ok)
+            return false;
+    }
+    core::PipelineConfig cfg = svc::campaignConfig(spec);
+    cover::CoverageLedger ledger;
+    core::ExperimentDb db;
+    cfg.coverageLedger = &ledger;
+    cfg.database = &db;
+    shard::MergeOptions opts;
+    opts.rerunMissing = true;
+    return shard::mergeCampaign(cfg, shards, root, opts).ok;
+}
+
+/** Byte-compare the cache-state-invariant artifact set. */
+inline bool
+artifactsEqual(const std::string &dir, const std::string &ref)
+{
+    for (const char *f : {shard::kMetricsFile, shard::kCoverageFile,
+                          shard::kDbFile, shard::kStatsFile})
+        if (readFile(dir + "/" + std::string(f)) !=
+            readFile(ref + "/" + std::string(f)))
+            return false;
+    return true;
+}
+
+} // namespace svc_detail
+
+/**
+ * Run the standalone vs service comparison and write `path` in the
+ * "scamv-svc-v1" schema.
+ * @return false when the report cannot be written, any service
+ * campaign's artifacts diverge from its standalone run, or both the
+ * speedup and the avoided-solves gates miss.
+ */
+inline bool
+writeSvcReport(const std::string &path = "BENCH_svc.json")
+{
+    using namespace svc_detail;
+    namespace fs = std::filesystem;
+
+    constexpr int kCampaigns = 3;
+    constexpr int kShards = 2;
+    const svc::SubmissionSpec spec = tenantSpec();
+    const std::string root = fs::temp_directory_path().string() +
+                             "/scamv_bench_svc";
+    fs::remove_all(root);
+    fs::create_directories(root);
+
+    // Both legs run the campaign machinery with the same cache env;
+    // the only difference is the service's shared checkpoint.
+    setenv("SCAMV_QCACHE_MB", "64", 1);
+    unsetenv("SCAMV_QCACHE_FILE");
+
+    // ---- standalone leg: N private caches ------------------------
+    const std::uint64_t sa_m0 = globalCounter("qcache.miss");
+    Stopwatch standalone_watch;
+    bool ok = true;
+    for (int i = 0; i < kCampaigns && ok; ++i)
+        ok = runStandalone(spec, kShards,
+                           root + "/standalone-" + std::to_string(i));
+    const double standalone_s = standalone_watch.seconds();
+    const std::uint64_t standalone_misses =
+        globalCounter("qcache.miss") - sa_m0;
+
+    // ---- service leg: one shared checkpoint ----------------------
+    const std::uint64_t sv_m0 = globalCounter("qcache.miss");
+    Stopwatch service_watch;
+    std::vector<std::uint64_t> ids;
+    if (ok) {
+        svc::ServiceConfig cfg;
+        cfg.dir = root + "/svc";
+        cfg.workers = 2;
+        cfg.shards = kShards;
+        svc::Service service(cfg);
+        for (int i = 0; i < kCampaigns && ok; ++i) {
+            const svc::SubmitResult res = service.submit(spec);
+            ok = res.accepted && service.wait(res.id);
+            if (ok)
+                ids.push_back(res.id);
+        }
+        service.drain();
+    }
+    const double service_s = service_watch.seconds();
+    const std::uint64_t service_misses =
+        globalCounter("qcache.miss") - sv_m0;
+    unsetenv("SCAMV_QCACHE_MB");
+
+    // ---- gates ---------------------------------------------------
+    bool deterministic = ok;
+    for (int i = 0; deterministic && i < kCampaigns; ++i)
+        deterministic = artifactsEqual(
+            root + "/svc/campaign-" + std::to_string(ids.at(i)),
+            root + "/standalone-" + std::to_string(i));
+    const double speedup =
+        service_s > 0.0 ? standalone_s / service_s : 0.0;
+    const double avoided =
+        standalone_misses > 0
+            ? 1.0 - static_cast<double>(service_misses) /
+                        static_cast<double>(standalone_misses)
+            : 0.0;
+
+    std::printf("[svc] standalone: %d campaigns in %.3fs "
+                "(%llu cache misses)\n",
+                kCampaigns, standalone_s,
+                static_cast<unsigned long long>(standalone_misses));
+    std::printf("[svc] service:    %d campaigns in %.3fs "
+                "(%llu cache misses, shared checkpoint)\n",
+                kCampaigns, service_s,
+                static_cast<unsigned long long>(service_misses));
+    std::printf("[svc] speedup: %.2fx (gate %.1fx)  solves avoided: "
+                "%.0f%% (gate %.0f%%)  deterministic: %s\n",
+                speedup, kMinSvcSpeedup, 100.0 * avoided,
+                100.0 * kMinSvcSolvesAvoided,
+                deterministic ? "yes" : "NO");
+
+    char buf[640];
+    std::string body = "{\n  \"schema\": \"scamv-svc-v1\",\n";
+    std::snprintf(buf, sizeof buf,
+                  "  \"campaigns\": %d,\n  \"shards\": %d,\n"
+                  "  \"workload\": {\"programs\": %d, "
+                  "\"tests_per_program\": %d, \"seed\": %llu},\n",
+                  kCampaigns, kShards, spec.programs, spec.tests,
+                  static_cast<unsigned long long>(spec.seed));
+    body += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"standalone_seconds\": %.4f,\n"
+                  "  \"service_seconds\": %.4f,\n"
+                  "  \"speedup\": %.3f,\n  \"min_speedup\": %.2f,\n"
+                  "  \"standalone_misses\": %llu,\n"
+                  "  \"service_misses\": %llu,\n"
+                  "  \"solves_avoided\": %.3f,\n"
+                  "  \"min_solves_avoided\": %.2f,\n"
+                  "  \"deterministic\": %s\n}\n",
+                  standalone_s, service_s, speedup, kMinSvcSpeedup,
+                  static_cast<unsigned long long>(standalone_misses),
+                  static_cast<unsigned long long>(service_misses),
+                  avoided, kMinSvcSolvesAvoided,
+                  deterministic ? "true" : "false");
+    body += buf;
+
+    std::ofstream out(path);
+    const bool wrote = out && (out << body);
+    out.close();
+    fs::remove_all(root);
+    return wrote && deterministic &&
+           (speedup >= kMinSvcSpeedup ||
+            avoided >= kMinSvcSolvesAvoided);
+}
+
+} // namespace scamv::benchsupport
+
+#endif // SCAMV_BENCH_SVC_REPORT_HH

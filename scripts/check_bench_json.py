@@ -25,7 +25,16 @@ Three shapes are recognized (auto-detected per file):
    1-process reference); at least 2 shards, the end-to-end speedup
    must meet its declared host-adapted ``min_speedup``, and the
    merged artifacts must be byte-identical to the single-process
-   run (``deterministic``).
+   run (``deterministic``);
+ - ``scamv-triage-v1`` from bench/triage_report.hh: abstract-cache
+   pre-screen comparison; the screen must pay for itself (wall-clock
+   ``min_speedup`` or ``min_smt_avoided``) and must preserve
+   campaign outcomes (``deterministic``);
+ - ``scamv-svc-v1`` from bench/svc_report.hh: N standalone campaigns
+   vs the same N through the campaign service's shared qcache; the
+   sharing must pay for itself (aggregate ``min_speedup`` or
+   ``min_solves_avoided``) and every service campaign's artifacts
+   must be byte-identical to its standalone run (``deterministic``).
 
 Exit status is non-zero if any file is missing, unparseable or
 malformed, which is what makes the CI bench-smoke job a real gate.
@@ -287,6 +296,40 @@ def check_triage(path, doc):
           f"outcome-preserving)")
 
 
+def check_svc(path, doc):
+    campaigns = doc.get("campaigns")
+    if not isinstance(campaigns, int) or isinstance(campaigns, bool) \
+            or campaigns < 2:
+        fail(path, "campaigns is not an integer >= 2 (no "
+                   "cross-campaign sharing was measured)")
+    for key in ("standalone_seconds", "service_seconds",
+                "standalone_misses", "service_misses"):
+        if not is_num(doc.get(key)) or doc[key] < 0:
+            fail(path, f"{key!r} is not a non-negative number")
+    if doc["service_misses"] > doc["standalone_misses"]:
+        fail(path, "service run missed the cache more often than "
+                   "the standalone runs")
+    speedup = doc.get("speedup")
+    min_speedup = doc.get("min_speedup")
+    avoided = doc.get("solves_avoided")
+    min_avoided = doc.get("min_solves_avoided")
+    if not is_num(speedup) or not is_num(min_speedup):
+        fail(path, "missing numeric speedup/min_speedup")
+    if not is_num(avoided) or not is_num(min_avoided):
+        fail(path, "missing numeric solves_avoided/"
+                   "min_solves_avoided")
+    if speedup < min_speedup and avoided < min_avoided:
+        fail(path, f"speedup {speedup} < {min_speedup} and "
+                   f"solves_avoided {avoided} < {min_avoided} "
+                   "(the shared qcache is not paying for itself)")
+    if doc.get("deterministic") is not True:
+        fail(path, "a service campaign diverges from its standalone "
+                   "run (deterministic != true)")
+    print(f"{path}: OK (service speedup {speedup:.2f}x over "
+          f"{campaigns} campaigns, {100 * avoided:.0f}% solves "
+          f"avoided, byte-identical)")
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -309,6 +352,8 @@ def check_file(path):
         check_shard(path, doc)
     elif doc.get("schema") == "scamv-triage-v1":
         check_triage(path, doc)
+    elif doc.get("schema") == "scamv-svc-v1":
+        check_svc(path, doc)
     elif "campaigns" in doc:
         check_parallel(path, doc)
     else:

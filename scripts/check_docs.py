@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Verify the README environment-variable reference against the code.
+"""Verify the operator documentation against the code.
 
 The single source of truth for ``SCAMV_*`` environment variables is
 the "Environment variables" table in ``README.md``.  This script
-fails when the two drift apart:
+fails when the docs and the code drift apart:
 
  - every variable the code actually reads (a quoted ``"SCAMV_..."``
    string literal in ``src/``) must have a row in the README table;
  - every row in the README table must correspond to a variable read
-   somewhere in ``src/`` or ``tests/`` (no stale documentation).
+   somewhere in ``src/`` or ``tests/`` (no stale documentation);
+ - the ``SCAMV_FAULT_PLAN`` README row must list exactly the
+   canonical fault-site names ``siteName`` returns
+   (``src/support/faults.cc``), so a new injection site cannot land
+   without its documentation;
+ - every ``SCAMV_SVC_*`` variable must additionally have a row in
+   the ``OPERATIONS.md`` service-configuration table (the daemon's
+   operator manual), and that table must hold no stale rows.
 
 Only quoted literals count as usage — prose mentions in comments do
 not — so the check tracks real ``getenv``/``envLong``/``envDouble``
@@ -52,6 +59,62 @@ def documented_vars(readme):
     return found
 
 
+def canonical_sites():
+    """Fault-site names as ``siteName`` returns them (faults.cc)."""
+    sites = set()
+    for line in (ROOT / "src" / "support" / "faults.cc").read_text(
+            encoding="utf-8").splitlines():
+        m = re.search(r'case Site::\w+:\s*return "([^"]+)";', line)
+        if m:
+            sites.add(m.group(1))
+    return sites
+
+
+def fault_row_sites(readme):
+    """Site names listed in the README ``SCAMV_FAULT_PLAN`` row."""
+    for line in readme.read_text(encoding="utf-8").splitlines():
+        if line.startswith("| `SCAMV_FAULT_PLAN`"):
+            listed = set(re.findall(r"`([a-z0-9_.]+)`", line))
+            listed.discard("all")
+            return listed
+    return None
+
+
+def check_fault_sites(readme, errors):
+    listed = fault_row_sites(readme)
+    if listed is None:
+        errors.append("README.md has no `SCAMV_FAULT_PLAN` table row")
+        return
+    sites = canonical_sites()
+    for name in sorted(sites - listed):
+        errors.append(
+            f"fault site {name!r} (src/support/faults.cc) is missing "
+            f"from the README.md SCAMV_FAULT_PLAN row")
+    for name in sorted(listed - sites):
+        errors.append(
+            f"README.md SCAMV_FAULT_PLAN row lists {name!r}, which is "
+            f"not a fault site siteName knows")
+
+
+def check_operations(src_used, errors):
+    operations = ROOT / "OPERATIONS.md"
+    svc_used = {v for v in src_used if v.startswith("SCAMV_SVC_")}
+    if not operations.exists():
+        errors.append("OPERATIONS.md is missing (the scamvd operator "
+                      "manual documents the SCAMV_SVC_* table)")
+        return
+    rows = documented_vars(operations)
+    for var in sorted(svc_used - set(rows)):
+        errors.append(
+            f"{var} is read by {src_used[var]} but has no row in the "
+            f"OPERATIONS.md service-configuration table")
+    for var in sorted({v for v in rows if v.startswith("SCAMV_SVC_")}
+                      - svc_used):
+        errors.append(
+            f"{var} is documented (OPERATIONS.md:{rows[var]}) but no "
+            f"code in src/ reads it")
+
+
 def main():
     readme = ROOT / "README.md"
     src_used = used_vars("src")
@@ -67,6 +130,8 @@ def main():
         errors.append(
             f"{var} is documented (README.md:{documented[var]}) but no "
             f"code in src/ or tests/ reads it")
+    check_fault_sites(readme, errors)
+    check_operations(src_used, errors)
 
     if errors:
         for e in errors:

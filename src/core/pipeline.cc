@@ -1069,14 +1069,19 @@ runScheduleRange(const PipelineConfig &cfg,
     auto run_batch = [&](const std::vector<ProgramTask> &tasks) {
         if (!pool) {
             // Reference path: plain sequential loop on this thread.
-            for (const ProgramTask &task : tasks)
+            for (const ProgramTask &task : tasks) {
                 outs[task.prog_i - first] =
                     runOneProgramGuarded(cfg, instrument, task);
+                if (cfg.progressHook)
+                    cfg.progressHook(task.prog_i);
+            }
         } else {
             for (const ProgramTask &task : tasks) {
                 pool->submit([&cfg, instrument, task, outs, first] {
                     outs[task.prog_i - first] =
                         runOneProgramGuarded(cfg, instrument, task);
+                    if (cfg.progressHook)
+                        cfg.progressHook(task.prog_i);
                 });
             }
             pool->wait();

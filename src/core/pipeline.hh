@@ -47,6 +47,7 @@
 #ifndef SCAMV_CORE_PIPELINE_HH
 #define SCAMV_CORE_PIPELINE_HH
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -269,6 +270,17 @@ struct PipelineConfig {
      * only when the minimizer is on.
      */
     std::optional<std::string> findingsFile;
+    /**
+     * Optional per-program completion hook, invoked once per program
+     * task right after its outcome slot is filled.  Purely
+     * observational: the campaign's artifacts are byte-identical with
+     * or without a hook installed (it runs outside the instrumented
+     * registries and must not touch them).  Under SCAMV_THREADS > 1
+     * the hook is called concurrently from pool workers, so it must
+     * be thread-safe; `scamvd` uses it to stream live progress
+     * counters to attached clients (src/svc).
+     */
+    std::function<void(int prog_i)> progressHook;
 };
 
 /** Campaign statistics, mirroring a column of Table 1 / Fig. 7. */

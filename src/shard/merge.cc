@@ -188,9 +188,13 @@ mergeCampaign(core::PipelineConfig cfg, int shard_count,
         // the same regime or the deterministic-clock solver metrics
         // diverge (cache hits replay the captured delta — cold and
         // warm runs agree, cached and uncached runs do not).
+        // Fault-plan campaigns bypass the cache entirely
+        // (resolveCampaignEnv), so their workers ran uncached and a
+        // byte-identical rerun must too.
         const qcache::CacheConfig qenv =
             qcache::QueryCache::configFromEnv();
-        const bool use_cache = qenv.maxBytes > 0;
+        const bool use_cache =
+            qenv.maxBytes > 0 && !cfg.faultPlan.enabled();
         const std::string seed_path = root + "/.qcache.rerun";
 
         for (int sh = 0; sh < shard_count; ++sh) {

@@ -39,6 +39,8 @@ siteName(Site site)
       case Site::CoverLedgerMerge: return "cover.ledger_merge";
       case Site::ShardArtifactCorrupt: return "shard_artifact_corrupt";
       case Site::TriageMinimizeFlake: return "triage_minimize_flake";
+      case Site::SvcAcceptDrop: return "svc_accept_drop";
+      case Site::SvcWorkerLost: return "svc_worker_lost";
     }
     return "?";
 }

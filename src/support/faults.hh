@@ -56,11 +56,13 @@ enum class Site : int {
     CoverLedgerMerge, ///< cover::CoverageLedger::merge drops a delta
     ShardArtifactCorrupt, ///< shard outcome record corrupted at load
     TriageMinimizeFlake,  ///< counterexample minimizer dies mid-shrink
+    SvcAcceptDrop,        ///< svc::Service drops a submission at accept
+    SvcWorkerLost,        ///< svc worker dies after finishing a slice
 };
 
 /** Number of sites (array sizing). */
 constexpr int kSiteCount =
-    static_cast<int>(Site::TriageMinimizeFlake) + 1;
+    static_cast<int>(Site::SvcWorkerLost) + 1;
 
 /** @return the canonical (SCAMV_FAULT_PLAN) name of a site. */
 const char *siteName(Site site);

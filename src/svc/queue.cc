@@ -1,0 +1,41 @@
+/**
+ * @file
+ * FIFO-with-priority submission queue.
+ *
+ * Kept deliberately simple: a linear scan over pending entries.  The
+ * queue holds submission *ids* (small), is bounded by
+ * SCAMV_SVC_QUEUE_MAX, and pops at campaign granularity, so the scan
+ * is never the hot path.  The payoff is an obviously deterministic
+ * order — highest priority first, ascending id (= submission order)
+ * within a priority — which tests/test_svc.cc pins down.
+ */
+
+#include "svc/svc.hh"
+
+namespace scamv::svc {
+
+void
+SubmissionQueue::push(std::uint64_t id, int priority)
+{
+    entries.push_back(Entry{id, priority});
+}
+
+std::optional<std::uint64_t>
+SubmissionQueue::pop()
+{
+    if (entries.empty())
+        return std::nullopt;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        // Strict '>' keeps equal priorities FIFO: ids ascend in push
+        // order, and a later entry never displaces an earlier equal.
+        if (entries[i].priority > entries[best].priority)
+            best = i;
+    }
+    const std::uint64_t id = entries[best].id;
+    entries.erase(entries.begin() +
+                  static_cast<std::ptrdiff_t>(best));
+    return id;
+}
+
+} // namespace scamv::svc
