@@ -1,0 +1,22 @@
+/**
+ * @file
+ * SC frontend bench: compiles the example corpus repeatedly
+ * (bench/front_report.hh) and emits `BENCH_front.json`.  Exits
+ * non-zero when compilation throughput, corpus-load determinism or
+ * the assembler round-trip regress, so CI catches frontend rot the
+ * way it catches campaign-engine rot.
+ */
+
+#include <cstdio>
+
+#include "front_report.hh"
+
+int
+main()
+{
+    const bool ok = scamv::benchsupport::writeFrontReport(
+        std::string(SCAMV_REPO_ROOT) + "/examples/corpus");
+    if (!ok)
+        std::printf("[front] FAILED (see BENCH_front.json)\n");
+    return ok ? 0 : 1;
+}

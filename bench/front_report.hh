@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared bench helper: measure the SC frontend (src/front) and emit
+ * `BENCH_front.json` (schema "scamv-front-v1").
+ *
+ * The frontend sits on every corpus campaign's startup path — the
+ * worker, the merge coordinator and every scamvd submission each
+ * recompile the corpus from source (corpus compilation is a pure
+ * function, so recompiling is what keeps shard and service runs
+ * byte-identical without shipping compiled programs around).  The
+ * bench compiles the example corpus many times and gates on:
+ *
+ *  - throughput: at least `kMinCompilesPerSec` kernel compilations
+ *    per second — a compile must stay microscopic next to the
+ *    campaign work it fronts;
+ *  - determinism: two independent corpus loads produce byte-identical
+ *    BIR and identical layouts/contracts — the property every
+ *    byte-identity invariant in ARCHITECTURE.md leans on;
+ *  - round-trip: assemble(toString(p)) == p for every kernel — the
+ *    `scamv-fc --emit-bir` output is a faithful program encoding.
+ */
+
+#ifndef SCAMV_BENCH_FRONT_REPORT_HH
+#define SCAMV_BENCH_FRONT_REPORT_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bir/asm.hh"
+#include "core/pipeline.hh"
+#include "front/front.hh"
+#include "support/stopwatch.hh"
+
+namespace scamv::benchsupport {
+
+/** Required kernel compilations per second (pessimistic floor: real
+ *  hosts compile the whole corpus in well under a millisecond). */
+inline constexpr double kMinCompilesPerSec = 1000.0;
+
+namespace front_detail {
+
+/** Structural equality of two corpus loads (program bytes + the
+ *  relational contract the campaign consumes). */
+inline bool
+corpusEqual(const std::vector<front::CompiledProgram> &a,
+            const std::vector<front::CompiledProgram> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].name != b[i].name ||
+            !(a[i].program == b[i].program) ||
+            a[i].program.toString() != b[i].program.toString() ||
+            a[i].secretRegs != b[i].secretRegs ||
+            a[i].publicRegs != b[i].publicRegs ||
+            a[i].publicMemAddrs != b[i].publicMemAddrs)
+            return false;
+    }
+    return true;
+}
+
+} // namespace front_detail
+
+/**
+ * Run the frontend measurement over `corpus_dir` and write `path` in
+ * the "scamv-front-v1" schema.
+ * @return false when the report cannot be written, the corpus fails
+ * to load, determinism or round-trip break, or throughput misses.
+ */
+inline bool
+writeFrontReport(const std::string &corpus_dir,
+                 const std::string &path = "BENCH_front.json")
+{
+    using namespace front_detail;
+
+    const std::vector<front::CompiledProgram> corpus =
+        front::loadCorpusDir(corpus_dir);
+    if (corpus.empty()) {
+        std::printf("[front] no kernels in %s\n", corpus_dir.c_str());
+        return false;
+    }
+
+    // ---- determinism: a second independent load is identical -----
+    const bool deterministic =
+        corpusEqual(corpus, front::loadCorpusDir(corpus_dir));
+
+    // ---- round-trip through the bir/asm assembler ----------------
+    bool round_trip = true;
+    long instructions = 0;
+    for (const front::CompiledProgram &cp : corpus) {
+        const bir::AsmResult back =
+            bir::assemble(cp.program.toString(), cp.name);
+        round_trip = round_trip && back.ok() &&
+                     back.program == cp.program;
+        instructions += static_cast<long>(cp.program.size());
+    }
+
+    // ---- throughput ----------------------------------------------
+    const int iterations =
+        std::max(20, core::scaled(200, core::scaleFromEnv(1.0)));
+    Stopwatch watch;
+    long compiled = 0;
+    for (int it = 0; it < iterations; ++it)
+        compiled +=
+            static_cast<long>(front::loadCorpusDir(corpus_dir).size());
+    const double compile_s = watch.seconds();
+    const double per_sec =
+        compile_s > 0.0 ? static_cast<double>(compiled) / compile_s
+                        : 0.0;
+
+    std::printf("[front] %zu kernels (%ld instrs), %d corpus loads "
+                "in %.3fs = %.0f compiles/s (gate %.0f)\n",
+                corpus.size(), instructions, iterations, compile_s,
+                per_sec, kMinCompilesPerSec);
+    std::printf("[front] deterministic: %s  round-trip: %s\n",
+                deterministic ? "yes" : "NO",
+                round_trip ? "yes" : "NO");
+
+    char buf[512];
+    std::string body = "{\n  \"schema\": \"scamv-front-v1\",\n";
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"kernels\": %zu,\n  \"instructions\": %ld,\n"
+        "  \"iterations\": %d,\n  \"compile_seconds\": %.4f,\n"
+        "  \"compiles_per_second\": %.1f,\n"
+        "  \"min_compiles_per_second\": %.1f,\n"
+        "  \"deterministic\": %s,\n  \"round_trip\": %s\n}\n",
+        corpus.size(), instructions, iterations, compile_s, per_sec,
+        kMinCompilesPerSec, deterministic ? "true" : "false",
+        round_trip ? "true" : "false");
+    body += buf;
+
+    std::ofstream out(path);
+    const bool wrote = out && (out << body);
+    return wrote && deterministic && round_trip &&
+           per_sec >= kMinCompilesPerSec;
+}
+
+} // namespace scamv::benchsupport
+
+#endif // SCAMV_BENCH_FRONT_REPORT_HH

@@ -1,0 +1,17 @@
+// Branchy length parser: the number of buffer loads depends on the
+// secret length via a branch — pc-observing models catch this, so no
+// refinement counterexample is expected against the ct model.
+secret u64 len;
+public u64 buf[16];
+u64 i;
+u64 acc;
+
+if (len < 8) {
+    for (i = 0; i < 4; i = i + 1) {
+        acc = acc + buf[i];
+    }
+} else {
+    for (i = 0; i < 8; i = i + 1) {
+        acc = acc + buf[i];
+    }
+}

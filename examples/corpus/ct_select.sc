@@ -1,0 +1,10 @@
+// Constant-time select: branchless mask arithmetic, no memory access —
+// no leak expected under any observational model in the zoo.
+secret u64 sel;
+secret u64 a;
+secret u64 b;
+u64 mask;
+u64 out;
+
+mask = 0 - (sel & 1);
+out = (a & mask) | (b & (mask ^ 0xffffffffffffffff));

@@ -1,0 +1,18 @@
+// memcmp with data-dependent control flow: every word is loaded at a
+// public (loop-index) address and mismatches only steer the pc, so
+// pc-observing models already account for it — no leak expected here.
+secret u64 a[4];
+public u64 b[4];
+u64 i;
+u64 eq;
+u64 x;
+u64 y;
+
+eq = 1;
+for (i = 0; i < 4; i = i + 1) {
+    x = a[i];
+    y = b[i];
+    if (x != y) {
+        eq = 0;
+    }
+}

@@ -1,0 +1,8 @@
+// AES-style S-box lookup: the load address depends on the secret key
+// byte, so cacheless models that hide addresses are invalid — leak
+// expected (counterexample under Mpc refined by the ct model).
+secret u64 k;
+public u64 table[256];
+u64 v;
+
+v = table[k & 255];

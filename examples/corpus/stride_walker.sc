@@ -1,0 +1,11 @@
+// Stride walker: load addresses are a secret-keyed stride sequence, a
+// classic prime+probe target — leak expected (counterexample under the
+// address-hiding cacheless model).
+secret u64 stride;
+public u64 arr[512];
+u64 i;
+u64 acc;
+
+for (i = 1; i < 5; i = i + 1) {
+    acc = acc + arr[(i * stride) & 511];
+}

@@ -34,7 +34,12 @@ Three shapes are recognized (auto-detected per file):
    vs the same N through the campaign service's shared qcache; the
    sharing must pay for itself (aggregate ``min_speedup`` or
    ``min_solves_avoided``) and every service campaign's artifacts
-   must be byte-identical to its standalone run (``deterministic``).
+   must be byte-identical to its standalone run (``deterministic``);
+ - ``scamv-front-v1`` from bench/front_report.hh: SC frontend smoke;
+   corpus compilation must clear its declared throughput floor,
+   independent corpus loads must be byte-identical
+   (``deterministic``) and every kernel must round-trip through the
+   bir assembler (``round_trip``).
 
 Exit status is non-zero if any file is missing, unparseable or
 malformed, which is what makes the CI bench-smoke job a real gate.
@@ -330,6 +335,32 @@ def check_svc(path, doc):
           f"avoided, byte-identical)")
 
 
+def check_front(path, doc):
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, int) or isinstance(kernels, bool) \
+            or kernels < 1:
+        fail(path, "kernels is not an integer >= 1 (empty corpus?)")
+    for key in ("instructions", "iterations", "compile_seconds",
+                "compiles_per_second"):
+        if not is_num(doc.get(key)) or doc[key] < 0:
+            fail(path, f"{key!r} is not a non-negative number")
+    per_sec = doc.get("compiles_per_second")
+    floor = doc.get("min_compiles_per_second")
+    if not is_num(floor):
+        fail(path, "missing numeric min_compiles_per_second")
+    if per_sec < floor:
+        fail(path, f"compiles_per_second {per_sec} < {floor} "
+                   "(frontend throughput regressed)")
+    if doc.get("deterministic") is not True:
+        fail(path, "independent corpus loads disagree "
+                   "(deterministic != true)")
+    if doc.get("round_trip") is not True:
+        fail(path, "a kernel fails to round-trip through the bir "
+                   "assembler (round_trip != true)")
+    print(f"{path}: OK ({kernels} kernels at {per_sec:.0f} "
+          f"compiles/s, deterministic, round-trips)")
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -354,6 +385,8 @@ def check_file(path):
         check_triage(path, doc)
     elif doc.get("schema") == "scamv-svc-v1":
         check_svc(path, doc)
+    elif doc.get("schema") == "scamv-front-v1":
+        check_front(path, doc)
     elif "campaigns" in doc:
         check_parallel(path, doc)
     else:

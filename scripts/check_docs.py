@@ -15,7 +15,11 @@ fails when the docs and the code drift apart:
    without its documentation;
  - every ``SCAMV_SVC_*`` variable must additionally have a row in
    the ``OPERATIONS.md`` service-configuration table (the daemon's
-   operator manual), and that table must hold no stale rows.
+   operator manual), and that table must hold no stale rows;
+ - every SC kernel in ``examples/corpus/`` must be listed in the
+   README corpus table (a ``\`<name>.sc\``` mention), and the README
+   must not list kernels that no longer exist — a corpus change
+   cannot land without its one-line side-channel story.
 
 Only quoted literals count as usage — prose mentions in comments do
 not — so the check tracks real ``getenv``/``envLong``/``envDouble``
@@ -115,6 +119,25 @@ def check_operations(src_used, errors):
             f"code in src/ reads it")
 
 
+def check_corpus(readme, errors):
+    corpus = ROOT / "examples" / "corpus"
+    if not corpus.is_dir():
+        errors.append("examples/corpus/ is missing (the SC kernel "
+                      "corpus the README documents)")
+        return
+    on_disk = {p.name for p in corpus.glob("*.sc")}
+    listed = set(re.findall(r"`([a-z0-9_]+\.sc)`",
+                            readme.read_text(encoding="utf-8")))
+    for name in sorted(on_disk - listed):
+        errors.append(
+            f"examples/corpus/{name} is not listed in the README.md "
+            f"corpus table")
+    for name in sorted(listed - on_disk):
+        errors.append(
+            f"README.md lists {name!r} but examples/corpus/ has no "
+            f"such kernel")
+
+
 def main():
     readme = ROOT / "README.md"
     src_used = used_vars("src")
@@ -132,6 +155,7 @@ def main():
             f"code in src/ or tests/ reads it")
     check_fault_sites(readme, errors)
     check_operations(src_used, errors)
+    check_corpus(readme, errors)
 
     if errors:
         for e in errors:

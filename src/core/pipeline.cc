@@ -280,9 +280,18 @@ runOneProgram(const PipelineConfig &cfg, bool instrument,
     // without a ledger never touches the delta (or the extra clock
     // reads below), keeping untracked campaigns byte-identical to the
     // pre-cover pipeline.
+    // Corpus workloads replace the generator draw with a pre-compiled
+    // SC kernel (see PipelineConfig::corpus).
+    const front::CompiledProgram *corpus_entry = nullptr;
+    if (task.corpusIndex >= 0 && cfg.corpus &&
+        task.corpusIndex < static_cast<int>(cfg.corpus->size()))
+        corpus_entry = &(*cfg.corpus)[static_cast<std::size_t>(
+            task.corpusIndex)];
+
     cover::ProgramDelta &delta = out.coverDelta;
     if (task.collectCover) {
-        delta.templ = gen::templateName(task.templ);
+        delta.templ = corpus_entry ? "corpus:" + corpus_entry->name
+                                   : gen::templateName(task.templ);
         delta.model = obs::modelName(cfg.model);
         if (cfg.coverage == Coverage::PcAndLine)
             delta.universe = cfg.modelParams.geom.numSets;
@@ -318,7 +327,13 @@ runOneProgram(const PipelineConfig &cfg, bool instrument,
     std::unique_ptr<sym::Annotator> annotator;
     {
         metrics::PhaseTimer phase(reg, "generate");
-        program = generator.next();
+        if (corpus_entry) {
+            program = corpus_entry->program;
+            program.setName(corpus_entry->name + "#" +
+                            std::to_string(prog_i));
+        } else {
+            program = generator.next();
+        }
         out.name = program.name();
         model_prog = program;
         if (instrument) {
@@ -371,6 +386,12 @@ runOneProgram(const PipelineConfig &cfg, bool instrument,
     rel_cfg.refine = cfg.refinement.has_value();
     rel_cfg.region = cfg.region;
     rel_cfg.geom = cfg.modelParams.geom;
+    if (corpus_entry) {
+        // The kernel's declared security contract: public inputs are
+        // pinned equal across s1/s2, secrets stay free to differ.
+        rel_cfg.lowRegs = corpus_entry->publicRegs;
+        rel_cfg.lowMemAddrs = corpus_entry->publicMemAddrs;
+    }
     std::optional<rel::RelationSynthesizer> relation;
     {
         metrics::PhaseTimer phase(reg, "relation_synthesis");
@@ -1058,9 +1079,30 @@ runScheduleRange(const PipelineConfig &cfg,
     const bool instrument = needsSpecInstrumentation(cfg);
     const int n_threads = resolveThreads(cfg.threads);
 
-    std::vector<gen::TemplateKind> templates = cfg.templateKinds;
-    if (templates.empty())
-        templates.push_back(cfg.templateKind);
+    // The workload universe: corpus entries when a corpus is loaded
+    // (exclusive — corpus campaigns never mix in generated programs),
+    // generator templates otherwise.  Both schedules treat a unit the
+    // same way: uniform round-robins program indices over the units,
+    // adaptive weighs each unit's ledger bucket.
+    struct WorkloadUnit {
+        gen::TemplateKind templ = gen::TemplateKind::A;
+        int corpusIndex = -1;
+        std::string name;
+    };
+    std::vector<WorkloadUnit> units;
+    if (cfg.corpus && !cfg.corpus->empty()) {
+        for (int c = 0; c < static_cast<int>(cfg.corpus->size()); ++c)
+            units.push_back(
+                {gen::TemplateKind::A, c,
+                 "corpus:" +
+                     (*cfg.corpus)[static_cast<std::size_t>(c)].name});
+    } else {
+        std::vector<gen::TemplateKind> templates = cfg.templateKinds;
+        if (templates.empty())
+            templates.push_back(cfg.templateKind);
+        for (gen::TemplateKind kind : templates)
+            units.push_back({kind, -1, gen::templateName(kind)});
+    }
 
     std::optional<ThreadPool> pool;
     if (n_threads > 1 && budget > 1)
@@ -1096,9 +1138,11 @@ runScheduleRange(const PipelineConfig &cfg,
         for (int k = 0; k < budget; ++k) {
             ProgramTask task;
             task.prog_i = first + k;
-            task.templ =
-                templates[static_cast<std::size_t>(task.prog_i) %
-                          templates.size()];
+            const WorkloadUnit &u =
+                units[static_cast<std::size_t>(task.prog_i) %
+                      units.size()];
+            task.templ = u.templ;
+            task.corpusIndex = u.corpusIndex;
             task.collectCover = track_cover;
             tasks.push_back(task);
         }
@@ -1114,19 +1158,19 @@ runScheduleRange(const PipelineConfig &cfg,
                                        ? cfg.modelParams.geom.numSets
                                        : 0;
     std::vector<std::string> names;
-    for (gen::TemplateKind kind : templates)
-        names.emplace_back(gen::templateName(kind));
+    for (const WorkloadUnit &u : units)
+        names.push_back(u.name);
 
     bool degraded = false;
     int next = 0;
     for (int round = 0; next < budget; ++round) {
         const int batch = std::min(round_size, budget - next);
-        std::vector<cover::RoundPlan> plans(templates.size());
+        std::vector<cover::RoundPlan> plans(units.size());
         std::vector<int> assign;
         if (!degraded) {
             const cover::Snapshot snap = ledger->snapshot();
             bool all_saturated = num_sets > 0;
-            for (std::size_t i = 0; i < templates.size(); ++i) {
+            for (std::size_t i = 0; i < units.size(); ++i) {
                 plans[i] = cover::planRound(snap, names[i], cfg.seed,
                                             round, num_sets);
                 all_saturated &= plans[i].saturated;
@@ -1149,7 +1193,7 @@ runScheduleRange(const PipelineConfig &cfg,
             for (int s = 0; s < batch; ++s)
                 assign[s] = static_cast<int>(
                     (static_cast<std::size_t>(first + next + s)) %
-                    templates.size());
+                    units.size());
         }
         reg.counter("cover.rounds").inc();
 
@@ -1158,8 +1202,10 @@ runScheduleRange(const PipelineConfig &cfg,
         for (int s = 0; s < batch; ++s) {
             ProgramTask task;
             task.prog_i = first + next + s;
-            task.templ = templates[static_cast<std::size_t>(
+            const WorkloadUnit &u = units[static_cast<std::size_t>(
                 assign[static_cast<std::size_t>(s)])];
+            task.templ = u.templ;
+            task.corpusIndex = u.corpusIndex;
             task.collectCover = true;
             task.plan = degraded
                             ? nullptr
@@ -1408,6 +1454,22 @@ resolveCampaignEnv(PipelineConfig cfg)
         const char *path = std::getenv("SCAMV_FINDINGS_FILE");
         if (path && *path)
             cfg.findingsFile = path;
+    }
+
+    // Corpus workload: an explicitly configured corpus wins, otherwise
+    // SCAMV_CORPUS_DIR / SCAMV_PROGRAM_FILE.  Arrays are laid out
+    // inside the campaign's experiment region so the relation's
+    // region constraints accept corpus addresses.
+    if (!cfg.corpus) {
+        front::CompileOptions fopts;
+        fopts.arrayBase = cfg.region.base;
+        fopts.arrayLimit = cfg.region.base + cfg.region.size;
+        std::vector<front::CompiledProgram> loaded =
+            front::corpusFromEnv(fopts);
+        if (!loaded.empty())
+            cfg.corpus = std::make_shared<
+                const std::vector<front::CompiledProgram>>(
+                std::move(loaded));
     }
     return cfg;
 }

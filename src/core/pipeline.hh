@@ -48,12 +48,14 @@
 #define SCAMV_CORE_PIPELINE_HH
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/expdb.hh"
 #include "cover/ledger.hh"
+#include "front/front.hh"
 #include "gen/templates.hh"
 #include "harness/platform.hh"
 #include "obs/models.hh"
@@ -101,6 +103,17 @@ struct PipelineConfig {
      * (undecided / low-coverage templates get more budget).
      */
     std::vector<gen::TemplateKind> templateKinds;
+    /**
+     * Corpus workload (src/front): when set and non-empty, the
+     * campaign validates these compiled SC kernels instead of drawing
+     * from the generator templates — program prog_i runs corpus entry
+     * prog_i % corpus->size(), its `public` qualifiers feed the
+     * relation's low-input constraints, and its coverage-ledger bucket
+     * is "corpus:<name>".  Unset resolves from SCAMV_CORPUS_DIR /
+     * SCAMV_PROGRAM_FILE in resolveCampaignEnv() (shared_ptr so shard
+     * workers and the service share one immutable load).
+     */
+    std::shared_ptr<const std::vector<front::CompiledProgram>> corpus;
     /** Model under validation (M1). */
     obs::ModelKind model = obs::ModelKind::Mct;
     /** Refined model (M2); disabled when unset. */
@@ -391,6 +404,8 @@ bool needsSpecInstrumentation(const PipelineConfig &cfg);
 struct ProgramTask {
     int prog_i = 0;
     gen::TemplateKind templ = gen::TemplateKind::A;
+    /** Corpus entry to run instead of generating (-1: generator). */
+    int corpusIndex = -1;
     /** Collect a cover::ProgramDelta for the campaign ledger. */
     bool collectCover = false;
     /** Adaptive round plan for this program (nullptr: unguided). */

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * SC frontend: a small C-like language compiled down to bir::Program.
+ *
+ * The paper's Scam-V pipeline only ever validated observational models
+ * against the five synthetic generator templates of Fig. 5/7.  This
+ * module opens the real-code workload tier of the roadmap: a
+ * self-contained frontend for "SC", a C subset rich enough to express
+ * the classic side-channel kernels — constant-time selects, S-box
+ * table lookups, branchy parsers, memcmp chains, stride walkers — and
+ * compile them into the exact IR the campaign machinery consumes.
+ *
+ * The pipeline is classical and entirely hand-written:
+ *
+ *   lex()     byte stream -> tokens, with line/column positions;
+ *   parse()   recursive-descent into a typed AST (u64 scalars,
+ *             fixed-size u64 arrays, secret/public input qualifiers,
+ *             if/else, bounded for loops, assignments, indexing);
+ *   compile() semantic checks (undeclared/duplicate names, scalar vs
+ *             array misuse, non-constant loop bounds) and lowering:
+ *             bounded full loop unrolling under a configurable budget,
+ *             linear-scan register allocation onto x0..x31, arrays at
+ *             deterministic 64-byte-aligned base addresses, array
+ *             accesses as Load/Store with register offsets, if/else as
+ *             fused compare-and-branch.
+ *
+ * Every failure is a Diagnostic carrying the 1-based line/column of
+ * the offending token — the frontend never throws and never crashes
+ * on malformed input (fuzz-tested in tests/test_front.cc).
+ *
+ * The `secret` / `public` qualifiers are the relational contract of
+ * the compiled program: qualified scalar declarations become input
+ * registers (CompiledProgram::secretRegs / publicRegs) and array
+ * declarations become memory slabs whose words are secret (free to
+ * differ between the two symbolic states) or public (pinned equal by
+ * the relation synthesizer, see rel::RelationConfig::lowMemAddrs).
+ * Unqualified scalars are locals, zero-initialized at entry so no
+ * uninitialized junk can masquerade as a leak; unqualified arrays
+ * default to public inputs for the same reason.
+ */
+
+#ifndef SCAMV_FRONT_FRONT_HH
+#define SCAMV_FRONT_FRONT_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bir/bir.hh"
+
+namespace scamv::front {
+
+/** 1-based position of a token in the source text. */
+struct SourcePos {
+    int line = 1;
+    int col = 1;
+
+    bool operator==(const SourcePos &) const = default;
+};
+
+/** One frontend error ("<line>:<col>: message"). */
+struct Diagnostic {
+    SourcePos pos;
+    std::string message;
+
+    /** Render as "<file>:<line>:<col>: error: <message>". */
+    std::string render(const std::string &file = "<sc>") const;
+};
+
+/*
+ * ------------------------------------------------------------------
+ * Lexer
+ * ------------------------------------------------------------------
+ */
+
+/** Token kinds.  Punctuation tokens carry their spelling in `text`. */
+enum class TokKind {
+    Ident,   ///< identifier or keyword (keywords resolved by parser)
+    Number,  ///< u64 literal (decimal or 0x hex), value in `value`
+    Punct,   ///< operator/punctuation spelling in `text`
+    End      ///< end of input
+};
+
+/** One token. */
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    std::uint64_t value = 0;
+    SourcePos pos;
+};
+
+/** Lexer output: the token stream, or the first lexical error. */
+struct LexResult {
+    std::vector<Token> tokens; ///< always End-terminated on success
+    std::optional<Diagnostic> error;
+
+    bool ok() const { return !error.has_value(); }
+};
+
+/** Tokenize SC source.  Total: any byte sequence lexes or diagnoses. */
+LexResult lex(std::string_view source);
+
+/*
+ * ------------------------------------------------------------------
+ * AST
+ * ------------------------------------------------------------------
+ */
+
+/** Binary operators, in precedence-climbing order (see parse.cc). */
+enum class BinOp { Or, Xor, And, Shl, Shr, Add, Sub, Mul };
+
+/** Relational operators (unsigned, as everything in SC is u64). */
+enum class RelOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node. */
+struct Expr {
+    enum class Kind { Num, Var, Index, Bin };
+    Kind kind = Kind::Num;
+    SourcePos pos;
+    std::uint64_t value = 0; ///< Num
+    std::string name;        ///< Var / Index (the array)
+    BinOp op = BinOp::Add;   ///< Bin
+    ExprPtr lhs;             ///< Bin left operand / Index subscript
+    ExprPtr rhs;             ///< Bin right operand
+};
+
+/** Relational condition `lhs relop rhs`. */
+struct Cond {
+    RelOp op = RelOp::Eq;
+    SourcePos pos;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Statement node. */
+struct Stmt {
+    enum class Kind { Assign, Store, If, For };
+    Kind kind = Kind::Assign;
+    SourcePos pos;
+    std::string name;  ///< Assign target / Store array / For variable
+    ExprPtr index;     ///< Store subscript
+    ExprPtr value;     ///< Assign / Store right-hand side
+    Cond cond;         ///< If condition
+    std::vector<StmtPtr> body;     ///< If-then / For body
+    std::vector<StmtPtr> elseBody; ///< If-else (may be empty)
+    ExprPtr forInit;   ///< For: initial value of the loop variable
+    ExprPtr forBound;  ///< For: exclusive upper bound (`<` only)
+    ExprPtr forStep;   ///< For: per-iteration increment
+};
+
+/** Input qualifier of a top-level declaration. */
+enum class Qualifier {
+    None,   ///< local scalar (zeroed) / public array (see file header)
+    Secret, ///< high input: free to differ between the two states
+    Public  ///< low input: pinned equal between the two states
+};
+
+/** One top-level `[secret|public] u64 name [\[N\]];` declaration. */
+struct Decl {
+    Qualifier qual = Qualifier::None;
+    std::string name;
+    bool isArray = false;
+    std::uint64_t arraySize = 0;
+    SourcePos pos;
+};
+
+/** A parsed translation unit: declarations, then statements. */
+struct Unit {
+    std::vector<Decl> decls;
+    std::vector<StmtPtr> stmts;
+};
+
+/** Parser output: the unit, or the first syntax/lexical error. */
+struct ParseResult {
+    Unit unit;
+    std::optional<Diagnostic> error;
+
+    bool ok() const { return !error.has_value(); }
+};
+
+/** Parse SC source.  Total: never throws, never crashes. */
+ParseResult parse(std::string_view source);
+
+/**
+ * Stable s-expression dump of a parsed unit, used by the golden-file
+ * tests: purely structural (no source positions), one node per line,
+ * two-space indentation.
+ */
+std::string dumpAst(const Unit &unit);
+
+/*
+ * ------------------------------------------------------------------
+ * Lowering
+ * ------------------------------------------------------------------
+ */
+
+/** Compilation options. */
+struct CompileOptions {
+    /**
+     * Maximum lowered (architectural) instruction count — the loop
+     * unrolling budget.  Negative resolves from the validated
+     * SCAMV_UNROLL_BUDGET environment variable, defaulting to 1024.
+     */
+    long unrollBudget = -1;
+    /** First array base address (the experiment region base). */
+    std::uint64_t arrayBase = 0x80000;
+    /** Array storage limit (the experiment region end). */
+    std::uint64_t arrayLimit = 0x80000 + 0x80000;
+    /** Array base alignment (one cache line). */
+    std::uint64_t arrayAlign = 64;
+};
+
+/** Deterministic memory slab assigned to one array declaration. */
+struct ArrayLayout {
+    std::string name;
+    Qualifier qual = Qualifier::Public;
+    std::uint64_t base = 0;  ///< 64-byte aligned slab base
+    std::uint64_t words = 0; ///< element count (8 bytes per element)
+};
+
+/** A compiled SC program plus its relational input contract. */
+struct CompiledProgram {
+    std::string name;
+    bir::Program program;
+    /** Registers holding `secret` scalar inputs (declaration order). */
+    std::vector<bir::Reg> secretRegs;
+    /** Registers holding `public` scalar inputs (declaration order). */
+    std::vector<bir::Reg> publicRegs;
+    /** Array memory layout, in declaration order. */
+    std::vector<ArrayLayout> arrays;
+    /** Every 8-byte word of every public array — the low memory the
+     *  relation synthesizer pins equal across the two states. */
+    std::vector<std::uint64_t> publicMemAddrs;
+};
+
+/** Compiler output: the compiled program, or the first error. */
+struct CompileResult {
+    std::optional<CompiledProgram> compiled;
+    std::optional<Diagnostic> error;
+
+    bool ok() const { return compiled.has_value(); }
+};
+
+/** Parse, check and lower SC source into a CompiledProgram. */
+CompileResult compile(std::string_view source, const std::string &name,
+                      const CompileOptions &opts = {});
+
+/** Lower an already-parsed unit (the compile() back half). */
+CompileResult lower(const Unit &unit, const std::string &name,
+                    const CompileOptions &opts = {});
+
+/*
+ * ------------------------------------------------------------------
+ * Corpus loading
+ * ------------------------------------------------------------------
+ */
+
+/**
+ * Load and compile every `*.sc` file in `dir`, sorted by filename so
+ * the corpus order — and hence every campaign artifact built from it —
+ * is deterministic.  Files that fail to read or compile warn and are
+ * skipped (the campaign must not die on one bad kernel).  Program
+ * names are the filename stems ("sbox" from "sbox.sc").
+ */
+std::vector<CompiledProgram> loadCorpusDir(const std::string &dir,
+                                           const CompileOptions &opts = {});
+
+/** Load and compile one `.sc` file; warns and returns nullopt on
+ *  read/compile failure. */
+std::optional<CompiledProgram>
+loadProgramFile(const std::string &path, const CompileOptions &opts = {});
+
+/**
+ * The environment-configured corpus: every kernel of SCAMV_CORPUS_DIR
+ * (when set) plus the single SCAMV_PROGRAM_FILE kernel (when set), in
+ * that order.  Empty when neither variable is set.
+ */
+std::vector<CompiledProgram> corpusFromEnv(const CompileOptions &opts = {});
+
+} // namespace scamv::front
+
+#endif // SCAMV_FRONT_FRONT_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SC lexer.
+ *
+ * Hand-written single-pass scanner.  Total over arbitrary byte input:
+ * every byte sequence either tokenizes or yields a Diagnostic with the
+ * position of the first offending byte — the fuzz tests in
+ * tests/test_front.cc rely on this never crashing or looping.
+ */
+
+#include "front/front.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace scamv::front {
+
+std::string
+Diagnostic::render(const std::string &file) const
+{
+    return file + ":" + std::to_string(pos.line) + ":" +
+           std::to_string(pos.col) + ": error: " + message;
+}
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character operators, longest first so "<<" wins over "<". */
+const char *const kPuncts[] = {
+    "<<", ">>", "==", "!=", "<=", ">=",
+    "(", ")", "{", "}", "[", "]", ";", "=", "<", ">",
+    "+", "-", "*", "&", "|", "^", ",",
+};
+
+} // namespace
+
+LexResult
+lex(std::string_view source)
+{
+    LexResult out;
+    SourcePos pos;
+    std::size_t i = 0;
+
+    auto advance = [&](std::size_t n) {
+        for (std::size_t k = 0; k < n; ++k) {
+            if (source[i + k] == '\n') {
+                ++pos.line;
+                pos.col = 1;
+            } else {
+                ++pos.col;
+            }
+        }
+        i += n;
+    };
+
+    while (i < source.size()) {
+        char c = source[i];
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance(1);
+            continue;
+        }
+        // Line comments: "//" to end of line.
+        if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+            while (i < source.size() && source[i] != '\n')
+                advance(1);
+            continue;
+        }
+        if (isIdentStart(c)) {
+            Token t;
+            t.kind = TokKind::Ident;
+            t.pos = pos;
+            std::size_t n = 1;
+            while (i + n < source.size() && isIdentChar(source[i + n]))
+                ++n;
+            t.text = std::string(source.substr(i, n));
+            advance(n);
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            Token t;
+            t.kind = TokKind::Number;
+            t.pos = pos;
+            std::size_t n = 1;
+            // Accept any run of alphanumerics, then parse strictly, so
+            // "0x1g" and "12ab" diagnose rather than split into two
+            // tokens that happen to parse.
+            while (i + n < source.size() && isIdentChar(source[i + n]))
+                ++n;
+            t.text = std::string(source.substr(i, n));
+            errno = 0;
+            char *end = nullptr;
+            t.value = std::strtoull(t.text.c_str(), &end, 0);
+            if (errno == ERANGE || end != t.text.c_str() + t.text.size()) {
+                out.error = Diagnostic{pos, "invalid numeric literal '" +
+                                                t.text + "'"};
+                return out;
+            }
+            advance(n);
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+        bool matched = false;
+        for (const char *p : kPuncts) {
+            std::size_t n = std::char_traits<char>::length(p);
+            if (source.substr(i, n) == p) {
+                Token t;
+                t.kind = TokKind::Punct;
+                t.pos = pos;
+                t.text = p;
+                advance(n);
+                out.tokens.push_back(std::move(t));
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            out.error = Diagnostic{
+                pos, std::string("unexpected character '") + c + "'"};
+            return out;
+        }
+    }
+
+    Token end;
+    end.kind = TokKind::End;
+    end.pos = pos;
+    out.tokens.push_back(std::move(end));
+    return out;
+}
+
+} // namespace scamv::front

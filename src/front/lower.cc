@@ -1,0 +1,445 @@
+/**
+ * @file
+ * SC semantic checks and lowering to BIR.
+ *
+ * Allocation strategy (all deterministic, so the same source always
+ * produces byte-identical BIR):
+ *
+ *   - scalars get registers in declaration order from x0; expression
+ *     temporaries are a stack growing above the last scalar, and the
+ *     high-water mark crossing x31 is a diagnostic, not a spill —
+ *     kernels this IR targets are small by construction;
+ *   - arrays get sequential cache-line-aligned slabs starting at the
+ *     experiment-region base, 8 bytes per element;
+ *   - `for` loops are fully unrolled (the symbolic executor has no
+ *     fixpoint engine), with the loop header constant-folded; a
+ *     non-constant bound is the "unbounded loop" diagnostic and the
+ *     total instruction count is capped by CompileOptions::unrollBudget;
+ *   - assignments evaluate the right-hand side into a fresh temporary
+ *     and then move it into the target register, so `x = 1 + x` reads
+ *     the old value instead of a clobbered one;
+ *   - unqualified scalars are zero-initialized at entry: without that,
+ *     their junk start values would be unconstrained symbolic inputs
+ *     and every use would masquerade as a secret-dependent leak.
+ */
+
+#include "front/front.hh"
+
+#include "support/env.hh"
+#include "support/logging.hh"
+
+#include <map>
+
+namespace scamv::front {
+
+namespace {
+
+/** Resolved symbol: a scalar register or an array slab. */
+struct Sym {
+    bool isArray = false;
+    Qualifier qual = Qualifier::None;
+    bir::Reg reg = -1;           ///< scalar only
+    std::uint64_t base = 0;      ///< array only
+    std::uint64_t words = 0;     ///< array only
+    SourcePos pos;
+};
+
+bir::AluOp
+aluOf(BinOp op)
+{
+    switch (op) {
+    case BinOp::Or: return bir::AluOp::Orr;
+    case BinOp::Xor: return bir::AluOp::Eor;
+    case BinOp::And: return bir::AluOp::And;
+    case BinOp::Shl: return bir::AluOp::Lsl;
+    case BinOp::Shr: return bir::AluOp::Lsr;
+    case BinOp::Add: return bir::AluOp::Add;
+    case BinOp::Sub: return bir::AluOp::Sub;
+    case BinOp::Mul: return bir::AluOp::Mul;
+    }
+    return bir::AluOp::Add;
+}
+
+bir::CmpOp
+cmpOf(RelOp op)
+{
+    switch (op) {
+    case RelOp::Eq: return bir::CmpOp::Eq;
+    case RelOp::Ne: return bir::CmpOp::Ne;
+    case RelOp::Lt: return bir::CmpOp::Ult;
+    case RelOp::Le: return bir::CmpOp::Ule;
+    case RelOp::Gt: return bir::CmpOp::Ugt;
+    case RelOp::Ge: return bir::CmpOp::Uge;
+    }
+    return bir::CmpOp::Eq;
+}
+
+class Lowerer
+{
+  public:
+    Lowerer(const Unit &u, const std::string &name,
+            const CompileOptions &options)
+        : unit(u), opts(options), out{}
+    {
+        out.name = name;
+        out.program.setName(name);
+        budget = opts.unrollBudget >= 0
+                     ? opts.unrollBudget
+                     : envLong("SCAMV_UNROLL_BUDGET", 1, 1000000)
+                           .value_or(1024);
+    }
+
+    CompileResult
+    run()
+    {
+        CompileResult res;
+        layoutSymbols();
+        if (!failed) {
+            for (const Decl &d : unit.decls)
+                if (!d.isArray && d.qual == Qualifier::None)
+                    emit(bir::Instr::movImm(syms[d.name].reg, 0), d.pos);
+            for (const auto &s : unit.stmts)
+                lowerStmt(*s);
+        }
+        if (!failed) {
+            emit(bir::Instr::halt(), SourcePos{});
+            std::string v = out.program.validate();
+            if (!v.empty())
+                fail(SourcePos{}, "internal: lowered program invalid: " + v);
+        }
+        if (failed) {
+            res.error = error;
+            return res;
+        }
+        res.compiled = std::move(out);
+        return res;
+    }
+
+  private:
+    const Unit &unit;
+    CompileOptions opts;
+    CompiledProgram out;
+    std::map<std::string, Sym> syms;
+    bir::Reg firstTemp = 0;
+    long budget = 1024;
+    std::string loopVar; ///< active induction variable, "" outside for
+    bool failed = false;
+    std::optional<Diagnostic> error;
+
+    void
+    fail(const SourcePos &pos, std::string msg)
+    {
+        if (!failed) {
+            failed = true;
+            error = Diagnostic{pos, std::move(msg)};
+        }
+    }
+
+    /** Check a register index fits the architectural file. */
+    bool
+    checkReg(bir::Reg r, const SourcePos &pos)
+    {
+        if (r >= bir::kNumRegs) {
+            fail(pos, "register allocation exceeded x31 (too many "
+                      "variables or deep expressions)");
+            return false;
+        }
+        return true;
+    }
+
+    void
+    emit(bir::Instr i, const SourcePos &pos)
+    {
+        if (failed)
+            return;
+        if (static_cast<long>(out.program.size()) >= budget) {
+            fail(pos, "program exceeds unroll budget of " +
+                          std::to_string(budget) +
+                          " instructions (SCAMV_UNROLL_BUDGET)");
+            return;
+        }
+        out.program.push(i);
+    }
+
+    void
+    layoutSymbols()
+    {
+        bir::Reg nextReg = 0;
+        std::uint64_t nextBase = opts.arrayBase;
+        for (const Decl &d : unit.decls) {
+            if (syms.count(d.name)) {
+                fail(d.pos, "duplicate declaration of '" + d.name + "'");
+                return;
+            }
+            Sym s;
+            s.isArray = d.isArray;
+            s.qual = d.qual;
+            s.pos = d.pos;
+            if (d.isArray) {
+                if (d.arraySize == 0) {
+                    fail(d.pos, "array '" + d.name +
+                                    "' must have positive size");
+                    return;
+                }
+                // Unqualified arrays default to public inputs: their
+                // contents must come from somewhere, and "equal in both
+                // states" is the only junk-free reading.
+                if (s.qual == Qualifier::None)
+                    s.qual = Qualifier::Public;
+                std::uint64_t align = opts.arrayAlign ? opts.arrayAlign : 1;
+                nextBase = (nextBase + align - 1) / align * align;
+                s.base = nextBase;
+                s.words = d.arraySize;
+                if (d.arraySize > (opts.arrayLimit - nextBase) / 8) {
+                    fail(d.pos, "array '" + d.name +
+                                    "' exceeds the experiment memory "
+                                    "region");
+                    return;
+                }
+                nextBase += d.arraySize * 8;
+            } else {
+                if (!checkReg(nextReg, d.pos))
+                    return;
+                s.reg = nextReg++;
+            }
+            syms[d.name] = s;
+            if (d.isArray) {
+                out.arrays.push_back(
+                    ArrayLayout{d.name, s.qual, s.base, s.words});
+                if (s.qual == Qualifier::Public)
+                    for (std::uint64_t w = 0; w < s.words; ++w)
+                        out.publicMemAddrs.push_back(s.base + 8 * w);
+            } else if (d.qual == Qualifier::Secret) {
+                out.secretRegs.push_back(s.reg);
+            } else if (d.qual == Qualifier::Public) {
+                out.publicRegs.push_back(s.reg);
+            }
+        }
+        firstTemp = nextReg;
+    }
+
+    const Sym *
+    lookup(const std::string &name, const SourcePos &pos, bool wantArray)
+    {
+        auto it = syms.find(name);
+        if (it == syms.end()) {
+            fail(pos, "use of undeclared identifier '" + name + "'");
+            return nullptr;
+        }
+        if (it->second.isArray != wantArray) {
+            fail(pos, wantArray
+                          ? "'" + name + "' is a scalar, not an array"
+                          : "'" + name + "' is an array; subscript it");
+            return nullptr;
+        }
+        return &it->second;
+    }
+
+    /** Evaluate `e` into `dst`, temporaries from `next` upward. */
+    void
+    evalInto(const Expr &e, bir::Reg dst, bir::Reg next)
+    {
+        if (failed || !checkReg(dst, e.pos))
+            return;
+        switch (e.kind) {
+        case Expr::Kind::Num:
+            emit(bir::Instr::movImm(dst, e.value), e.pos);
+            break;
+        case Expr::Kind::Var: {
+            const Sym *s = lookup(e.name, e.pos, false);
+            if (s)
+                emit(bir::Instr::aluImm(bir::AluOp::Orr, dst, s->reg, 0),
+                     e.pos);
+            break;
+        }
+        case Expr::Kind::Index: {
+            const Sym *s = lookup(e.name, e.pos, true);
+            if (!s || !checkReg(next, e.pos))
+                return;
+            evalInto(*e.lhs, dst, next + 1);
+            emit(bir::Instr::aluImm(bir::AluOp::Lsl, dst, dst, 3), e.pos);
+            emit(bir::Instr::movImm(next, s->base), e.pos);
+            emit(bir::Instr::load(dst, next, dst), e.pos);
+            break;
+        }
+        case Expr::Kind::Bin:
+            if (!checkReg(next, e.pos))
+                return;
+            evalInto(*e.lhs, dst, next + 1);
+            evalInto(*e.rhs, next, next + 1);
+            emit(bir::Instr::alu(aluOf(e.op), dst, dst, next), e.pos);
+            break;
+        }
+    }
+
+    /** Constant-fold `e`; nullopt when it references any variable. */
+    std::optional<std::uint64_t>
+    evalConst(const Expr &e)
+    {
+        switch (e.kind) {
+        case Expr::Kind::Num:
+            return e.value;
+        case Expr::Kind::Bin: {
+            auto a = evalConst(*e.lhs);
+            auto b = evalConst(*e.rhs);
+            if (!a || !b)
+                return std::nullopt;
+            switch (e.op) {
+            case BinOp::Or: return *a | *b;
+            case BinOp::Xor: return *a ^ *b;
+            case BinOp::And: return *a & *b;
+            case BinOp::Shl: return *b >= 64 ? 0 : *a << *b;
+            case BinOp::Shr: return *b >= 64 ? 0 : *a >> *b;
+            case BinOp::Add: return *a + *b;
+            case BinOp::Sub: return *a - *b;
+            case BinOp::Mul: return *a * *b;
+            }
+            return std::nullopt;
+        }
+        default:
+            return std::nullopt;
+        }
+    }
+
+    void
+    lowerStmt(const Stmt &s)
+    {
+        if (failed)
+            return;
+        switch (s.kind) {
+        case Stmt::Kind::Assign: {
+            const Sym *sym = lookup(s.name, s.pos, false);
+            if (!sym)
+                return;
+            if (s.name == loopVar) {
+                fail(s.pos, "assignment to loop variable '" + s.name +
+                                "' inside its loop body");
+                return;
+            }
+            if (s.value->kind == Expr::Kind::Num) {
+                emit(bir::Instr::movImm(sym->reg, s.value->value), s.pos);
+                return;
+            }
+            evalInto(*s.value, firstTemp, firstTemp + 1);
+            emit(bir::Instr::aluImm(bir::AluOp::Orr, sym->reg, firstTemp,
+                                    0),
+                 s.pos);
+            break;
+        }
+        case Stmt::Kind::Store: {
+            const Sym *sym = lookup(s.name, s.pos, true);
+            if (!sym)
+                return;
+            bir::Reg tVal = firstTemp, tIdx = firstTemp + 1,
+                     tBase = firstTemp + 2;
+            if (!checkReg(tBase, s.pos))
+                return;
+            evalInto(*s.value, tVal, tBase + 1);
+            evalInto(*s.index, tIdx, tBase + 1);
+            emit(bir::Instr::aluImm(bir::AluOp::Lsl, tIdx, tIdx, 3),
+                 s.pos);
+            emit(bir::Instr::movImm(tBase, sym->base), s.pos);
+            emit(bir::Instr::store(tVal, tBase, tIdx), s.pos);
+            break;
+        }
+        case Stmt::Kind::If: {
+            bir::Reg tL = firstTemp, tR = firstTemp + 1;
+            evalInto(*s.cond.lhs, tL, tR + 1);
+            evalInto(*s.cond.rhs, tR, tR + 1);
+            // Branch over the then-body when the condition is false.
+            int br = -1;
+            emit(bir::Instr::branch(bir::negateCmp(cmpOf(s.cond.op)), tL,
+                                    tR, 0),
+                 s.pos);
+            if (failed)
+                return;
+            br = static_cast<int>(out.program.size()) - 1;
+            for (const auto &c : s.body)
+                lowerStmt(*c);
+            if (failed)
+                return;
+            if (s.elseBody.empty()) {
+                out.program[br].target =
+                    static_cast<int>(out.program.size());
+            } else {
+                emit(bir::Instr::jump(0), s.pos);
+                if (failed)
+                    return;
+                int jp = static_cast<int>(out.program.size()) - 1;
+                out.program[br].target =
+                    static_cast<int>(out.program.size());
+                for (const auto &c : s.elseBody)
+                    lowerStmt(*c);
+                if (failed)
+                    return;
+                out.program[jp].target =
+                    static_cast<int>(out.program.size());
+            }
+            break;
+        }
+        case Stmt::Kind::For: {
+            const Sym *sym = lookup(s.name, s.pos, false);
+            if (!sym)
+                return;
+            if (sym->qual != Qualifier::None) {
+                fail(s.pos, "loop variable '" + s.name +
+                                "' must be an unqualified local");
+                return;
+            }
+            auto init = evalConst(*s.forInit);
+            auto bound = evalConst(*s.forBound);
+            auto step = evalConst(*s.forStep);
+            if (!init || !bound || !step) {
+                fail(s.pos, "unbounded loop: for header of '" + s.name +
+                                "' must use constant expressions");
+                return;
+            }
+            if (*step == 0) {
+                fail(s.pos, "unbounded loop: step of '" + s.name +
+                                "' is zero");
+                return;
+            }
+            std::string prevLoop = loopVar;
+            loopVar = s.name;
+            std::uint64_t v = *init;
+            while (v < *bound && !failed) {
+                emit(bir::Instr::movImm(sym->reg, v), s.pos);
+                for (const auto &c : s.body)
+                    lowerStmt(*c);
+                std::uint64_t nv = v + *step;
+                if (nv < v) // wrapped past 2^64: the loop is done
+                    break;
+                v = nv;
+            }
+            loopVar = prevLoop;
+            // Leave the register holding its post-loop value, as C would.
+            if (!failed)
+                emit(bir::Instr::movImm(sym->reg, v), s.pos);
+            break;
+        }
+        }
+    }
+};
+
+} // namespace
+
+CompileResult
+lower(const Unit &unit, const std::string &name, const CompileOptions &opts)
+{
+    return Lowerer(unit, name, opts).run();
+}
+
+CompileResult
+compile(std::string_view source, const std::string &name,
+        const CompileOptions &opts)
+{
+    ParseResult p = parse(source);
+    if (!p.ok()) {
+        CompileResult res;
+        res.error = p.error;
+        return res;
+    }
+    return lower(p.unit, name, opts);
+}
+
+} // namespace scamv::front

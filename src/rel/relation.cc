@@ -117,6 +117,23 @@ RelationSynthesizer::formulaFor(const PathPair &pair) const
                                     b.project(ObsTag::RefinedOnly)));
     f = ctx.land(f, regionConstraints(a));
     f = ctx.land(f, regionConstraints(b));
+    // Corpus security contract: pin declared-low inputs equal between
+    // the two states, so a satisfying assignment can only blame the
+    // secrets for the observation difference.
+    for (bir::Reg r : cfg.lowRegs) {
+        const std::string name = "x" + std::to_string(r);
+        f = ctx.land(f, ctx.eq(ctx.bvVar(name + cfg.suffix1),
+                               ctx.bvVar(name + cfg.suffix2)));
+    }
+    if (!cfg.lowMemAddrs.empty()) {
+        Expr mem1 = ctx.memVar("mem" + cfg.suffix1);
+        Expr mem2 = ctx.memVar("mem" + cfg.suffix2);
+        for (std::uint64_t addr : cfg.lowMemAddrs) {
+            Expr a_e = ctx.bv(addr);
+            f = ctx.land(f, ctx.eq(ctx.read(mem1, a_e),
+                                   ctx.read(mem2, a_e)));
+        }
+    }
     return f;
 }
 

@@ -24,9 +24,12 @@
 #ifndef SCAMV_REL_RELATION_HH
 #define SCAMV_REL_RELATION_HH
 
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "bir/bir.hh"
 #include "expr/expr.hh"
 #include "obs/layout.hh"
 #include "support/rng.hh"
@@ -64,6 +67,22 @@ struct RelationConfig {
     bool constrainTransientAddrs = true;
     /** Geometry for line-coverage constraints. */
     obs::CacheGeometry geom;
+
+    /**
+     * Low (public) inputs of the program under test, used by corpus
+     * campaigns where the frontend's `secret`/`public` qualifiers fix
+     * the security contract.  Registers listed here are conjoined
+     * equal between the two states (x<r>_1 == x<r>_2) and each listed
+     * memory address has its 8-byte word pinned equal
+     * (read(mem_1, a) == read(mem_2, a)); everything NOT listed —
+     * the secrets — stays free to differ.  Empty lists (generated
+     * workloads) leave the relation exactly as before.
+     */
+    std::vector<bir::Reg> lowRegs;
+    std::vector<std::uint64_t> lowMemAddrs;
+    /** Variable suffixes of the two compared states. */
+    std::string suffix1 = "_1";
+    std::string suffix2 = "_2";
 };
 
 /** Relation synthesizer for one program's two symbolic executions. */

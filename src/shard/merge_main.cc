@@ -29,7 +29,7 @@ usage(const char *argv0)
         "usage: %s --shards N [--dir DIR] [--rerun-missing] "
         "[--strict]\n"
         "          [--programs N] [--tests N] [--seed S]\n"
-        "          [--adaptive] [--line]\n",
+        "          [--adaptive] [--line] [--corpus DIR]\n",
         argv0);
     return 2;
 }
@@ -46,6 +46,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 99;
     bool adaptive = false;
     bool line = false;
+    std::string corpus;
     int shards = 0;
     std::string dir;
     shard::MergeOptions opts;
@@ -81,6 +82,11 @@ main(int argc, char **argv)
             adaptive = true;
         } else if (arg == "--line") {
             line = true;
+        } else if (arg == "--corpus") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            corpus = v;
         } else if (arg == "--rerun-missing") {
             opts.rerunMissing = true;
         } else if (arg == "--strict") {
@@ -95,7 +101,11 @@ main(int argc, char **argv)
         dir = shard::dirFromEnv(".");
 
     core::PipelineConfig cfg =
-        shard::defaultWorkload(programs, tests, seed, adaptive, line);
+        corpus.empty()
+            ? shard::defaultWorkload(programs, tests, seed, adaptive,
+                                     line)
+            : shard::corpusWorkload(programs, tests, seed, adaptive,
+                                    corpus);
     cover::CoverageLedger ledger;
     cfg.coverageLedger = &ledger;
     core::ExperimentDb db;

@@ -260,6 +260,20 @@ core::PipelineConfig defaultWorkload(int programs, int tests,
                                      std::uint64_t seed, bool adaptive,
                                      bool line);
 
+/**
+ * The deterministic corpus campaign: like defaultWorkload but the
+ * programs are the compiled `.sc` kernels of `corpus_dir` (sorted by
+ * filename) instead of generated Stride programs, validating the
+ * cacheless Mpc model refined by the constant-time Mct model — the
+ * refinement that makes secret-dependent addresses "interesting".
+ * The whole cache-set window is attacker-visible so address leaks are
+ * observable wherever the kernel's arrays land.  Corpus programs use
+ * Pc coverage (their ledger bucket is "corpus:<name>").
+ */
+core::PipelineConfig corpusWorkload(int programs, int tests,
+                                    std::uint64_t seed, bool adaptive,
+                                    const std::string &corpus_dir);
+
 } // namespace scamv::shard
 
 #endif // SCAMV_SHARD_SHARD_HH

@@ -34,7 +34,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--shard i/N | --single] [--dir DIR]\n"
         "          [--programs N] [--tests N] [--seed S]\n"
-        "          [--adaptive] [--line]\n"
+        "          [--adaptive] [--line] [--corpus DIR]\n"
         "Defaults: SCAMV_SHARD / SCAMV_SHARD_DIR from the "
         "environment.\n",
         argv0);
@@ -54,6 +54,7 @@ main(int argc, char **argv)
     bool adaptive = false;
     bool line = false;
     bool single = false;
+    std::string corpus;
     std::string dir;
     std::optional<shard::ShardSpec> spec;
 
@@ -89,6 +90,11 @@ main(int argc, char **argv)
             adaptive = true;
         } else if (arg == "--line") {
             line = true;
+        } else if (arg == "--corpus") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            corpus = v;
         } else if (arg == "--single") {
             single = true;
         } else {
@@ -104,7 +110,11 @@ main(int argc, char **argv)
     }
 
     core::PipelineConfig cfg =
-        shard::defaultWorkload(programs, tests, seed, adaptive, line);
+        corpus.empty()
+            ? shard::defaultWorkload(programs, tests, seed, adaptive,
+                                     line)
+            : shard::corpusWorkload(programs, tests, seed, adaptive,
+                                    corpus);
     cover::CoverageLedger ledger;
     cfg.coverageLedger = &ledger;
 

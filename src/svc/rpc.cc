@@ -257,6 +257,9 @@ specToArgs(const SubmissionSpec &spec)
     args.push_back("triage=" + std::to_string(spec.triage ? 1 : 0));
     args.push_back("minimize=" +
                    std::to_string(spec.minimize ? 1 : 0));
+    args.push_back("corpus=" + (spec.corpusDir.empty()
+                                    ? std::string("-")
+                                    : spec.corpusDir));
     return args;
 }
 
@@ -310,6 +313,8 @@ specFromArgs(const std::vector<std::string> &args, std::string &error)
         } else if (key == "minimize" && parseI64(val, i) &&
                    (i == 0 || i == 1)) {
             spec.minimize = i != 0;
+        } else if (key == "corpus") {
+            spec.corpusDir = val == "-" ? "" : std::string(val);
         } else {
             error = "invalid submission field '" + arg + "'";
             return std::nullopt;
@@ -351,9 +356,14 @@ faultPlanFor(const SubmissionSpec &spec)
 core::PipelineConfig
 campaignConfig(const SubmissionSpec &spec)
 {
-    core::PipelineConfig cfg = shard::defaultWorkload(
-        spec.programs, spec.tests, spec.seed, spec.adaptive,
-        spec.line);
+    core::PipelineConfig cfg =
+        spec.corpusDir.empty()
+            ? shard::defaultWorkload(spec.programs, spec.tests,
+                                     spec.seed, spec.adaptive,
+                                     spec.line)
+            : shard::corpusWorkload(spec.programs, spec.tests,
+                                    spec.seed, spec.adaptive,
+                                    spec.corpusDir);
     if (spec.faultRate > 0.0)
         cfg.faultPlan = faultPlanFor(spec);
     if (spec.retryMax >= 0)

@@ -10,8 +10,9 @@
  *   scamv-submit --socket PATH ping
  *
  * Workload flags: --programs N --tests N --seed S [--adaptive]
- * [--line] [--priority P] [--shards K] [--fault-rate R]
- * [--fault-plan SITES] [--retry-max N] [--triage] [--minimize].
+ * [--line] [--corpus DIR] [--priority P] [--shards K]
+ * [--fault-rate R] [--fault-plan SITES] [--retry-max N] [--triage]
+ * [--minimize].
  *
  * Output is line-oriented `key=value` pairs (submit prints `id=N`;
  * status/watch print the submission's state and counters), so shell
@@ -38,7 +39,8 @@ usage(const char *argv0)
         "  submit [--programs N] [--tests N] [--seed S]\n"
         "         [--adaptive] [--line] [--priority P] [--shards K]\n"
         "         [--fault-rate R] [--fault-plan SITES]\n"
-        "         [--retry-max N] [--triage] [--minimize] [--watch]\n"
+        "         [--retry-max N] [--triage] [--minimize]\n"
+        "         [--corpus DIR] [--watch]\n"
         "  status ID | watch ID | drain | ping\n",
         argv0);
     return 2;
@@ -203,6 +205,9 @@ main(int argc, char **argv)
             spec.triage = true;
         } else if (arg == "--minimize") {
             spec.minimize = true;
+        } else if (arg == "--corpus" && val) {
+            spec.corpusDir = val;
+            ++i;
         } else if (arg == "--watch") {
             watch = true;
         } else {

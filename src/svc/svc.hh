@@ -132,6 +132,14 @@ struct SubmissionSpec {
     int retryMax = -1;
     bool triage = false;
     bool minimize = false;
+    /**
+     * Corpus campaign: compile the `.sc` kernels of this directory
+     * (src/front) and validate them with shard::corpusWorkload
+     * instead of the generated default workload.  Empty: generated
+     * workload.  `line` is ignored for corpus campaigns (they use
+     * Mline support coverage unconditionally).
+     */
+    std::string corpusDir;
 
     bool operator==(const SubmissionSpec &) const = default;
 };

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * SC frontend tests: golden AST/BIR snapshots for the example corpus,
+ * diagnostic positions and messages for rejected programs, the
+ * assemble(toString(p)) == p round-trip property, lowering semantics
+ * spot-checks, and a mutation fuzzer over the corpus sources
+ * (FrontFuzz.*, scaled by SCAMV_FUZZ_ITERS for the nightly lane).
+ *
+ * Golden files live in tests/golden/<kernel>.{ast,bir}.  To refresh
+ * them after an intentional frontend change:
+ *
+ *     for f in examples/corpus/[a-z]*.sc; do n=$(basename $f .sc);
+ *       build/src/front/scamv-fc --emit-ast $f > tests/golden/$n.ast;
+ *       build/src/front/scamv-fc --emit-bir $f > tests/golden/$n.bir;
+ *     done
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bir/asm.hh"
+#include "front/front.hh"
+#include "support/env.hh"
+
+using namespace scamv;
+
+namespace {
+
+const char *const kKernels[] = {
+    "branchy_parser", "ct_select", "memcmp_early", "sbox",
+    "stride_walker",
+};
+
+std::string
+repoPath(const std::string &rel)
+{
+    return std::string(SCAMV_REPO_ROOT) + "/" + rel;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_TRUE(in) << "unreadable: " << path;
+    return ss.str();
+}
+
+/** Compile a source string; fail the test on diagnostics. */
+front::CompiledProgram
+mustCompile(const std::string &src, const std::string &name = "t")
+{
+    front::CompileResult res = front::compile(src, name);
+    EXPECT_TRUE(res.ok())
+        << (res.error ? res.error->render(name) : "no diagnostic");
+    return std::move(*res.compiled);
+}
+
+/** Expect a diagnostic containing `needle` at line/col. */
+void
+expectDiag(const std::string &src, const std::string &needle,
+           int line, int col)
+{
+    const front::CompileResult res = front::compile(src, "t");
+    ASSERT_FALSE(res.ok()) << "expected diagnostic '" << needle
+                           << "' but source compiled: " << src;
+    ASSERT_TRUE(res.error.has_value());
+    EXPECT_NE(res.error->message.find(needle), std::string::npos)
+        << "got: " << res.error->message;
+    EXPECT_EQ(res.error->pos.line, line) << res.error->message;
+    EXPECT_EQ(res.error->pos.col, col) << res.error->message;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Lexer
+
+TEST(FrontLex, TokensAndPositions)
+{
+    const front::LexResult res = front::lex("x = arr[i] << 0x1f;\n");
+    ASSERT_TRUE(res.ok());
+    std::vector<std::string> texts;
+    for (const front::Token &t : res.tokens)
+        texts.push_back(t.text);
+    const std::vector<std::string> want = {
+        "x", "=", "arr", "[", "i", "]", "<<", "0x1f", ";", ""};
+    EXPECT_EQ(texts, want);
+    EXPECT_EQ(res.tokens[0].pos.line, 1);
+    EXPECT_EQ(res.tokens[0].pos.col, 1);
+    EXPECT_EQ(res.tokens[7].pos.col, 15);
+    EXPECT_EQ(res.tokens[7].value, 0x1fu);
+    EXPECT_EQ(res.tokens.back().kind, front::TokKind::End);
+}
+
+TEST(FrontLex, CommentsAndErrors)
+{
+    EXPECT_TRUE(front::lex("// only a comment\n").ok());
+    const front::LexResult bad = front::lex("\n  x = $;\n");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.error->message.find("unexpected character"),
+              std::string::npos);
+    EXPECT_EQ(bad.error->pos.line, 2);
+    EXPECT_EQ(bad.error->pos.col, 7);
+    const front::LexResult num = front::lex("x = 0x1g;\n");
+    ASSERT_FALSE(num.ok());
+    EXPECT_NE(num.error->message.find("invalid numeric literal"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Golden snapshots
+
+TEST(FrontGolden, CorpusAstSnapshots)
+{
+    for (const char *kernel : kKernels) {
+        const std::string src = readFile(
+            repoPath("examples/corpus/" + std::string(kernel) + ".sc"));
+        const front::ParseResult parsed = front::parse(src);
+        ASSERT_TRUE(parsed.ok())
+            << kernel << ": " << parsed.error->render(kernel);
+        EXPECT_EQ(front::dumpAst(parsed.unit),
+                  readFile(repoPath("tests/golden/" +
+                                    std::string(kernel) + ".ast")))
+            << "AST snapshot drift for " << kernel
+            << " (see header for the refresh recipe)";
+    }
+}
+
+TEST(FrontGolden, CorpusBirSnapshots)
+{
+    for (const char *kernel : kKernels) {
+        const std::string src = readFile(
+            repoPath("examples/corpus/" + std::string(kernel) + ".sc"));
+        const front::CompiledProgram cp = mustCompile(src, kernel);
+        EXPECT_EQ(cp.program.toString(),
+                  readFile(repoPath("tests/golden/" +
+                                    std::string(kernel) + ".bir")))
+            << "BIR snapshot drift for " << kernel
+            << " (see header for the refresh recipe)";
+    }
+}
+
+// ---------------------------------------------------------------
+// Diagnostics (message + position)
+
+TEST(FrontDiag, UndeclaredIdentifier)
+{
+    expectDiag("u64 x;\nx = y + 1;\n",
+               "use of undeclared identifier 'y'", 2, 5);
+}
+
+TEST(FrontDiag, TypeErrors)
+{
+    expectDiag("u64 a[4];\nu64 x;\nx = a;\n",
+               "'a' is an array; subscript it", 3, 5);
+    expectDiag("u64 x;\nu64 y;\ny = x[0];\n",
+               "'x' is a scalar, not an array", 3, 5);
+    expectDiag("u64 x;\nu64 x;\n", "duplicate declaration of 'x'", 2,
+               1);
+    expectDiag("u64 a[0];\n", "array 'a' must have positive size", 1,
+               1);
+}
+
+TEST(FrontDiag, UnboundedLoop)
+{
+    expectDiag("u64 i;\nu64 n;\nfor (i = 0; i < n; i = i + 1) { }\n",
+               "unbounded loop: for header of 'i' must use constant "
+               "expressions",
+               3, 1);
+}
+
+TEST(FrontDiag, UnrollBudgetNamesEnvKnob)
+{
+    const std::string src = "u64 i;\nu64 acc;\n"
+                            "for (i = 0; i < 100000; i = i + 1) "
+                            "{ acc = acc + i; }\n";
+    const front::CompileResult res = front::compile(src, "t");
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.error->message.find("exceeds unroll budget"),
+              std::string::npos);
+    EXPECT_NE(res.error->message.find("SCAMV_UNROLL_BUDGET"),
+              std::string::npos);
+    // An explicit budget overrides the env default.
+    front::CompileOptions opts;
+    opts.unrollBudget = 1000000;
+    EXPECT_TRUE(front::compile(src, "t", opts).ok());
+}
+
+TEST(FrontDiag, RegisterAllocationExceeded)
+{
+    // 33 scalars cannot fit in x0..x31.
+    std::string src;
+    for (int i = 0; i < 33; ++i)
+        src += "u64 v" + std::to_string(i) + ";\n";
+    const front::CompileResult res = front::compile(src, "t");
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.error->message.find(
+                  "register allocation exceeded x31"),
+              std::string::npos);
+}
+
+TEST(FrontDiag, ParseErrorsCarryPositions)
+{
+    expectDiag("u64 x\nu64 y;\n", "expected ';'", 2, 1);
+    expectDiag("u64 x;\nx = ;\n", "expected expression", 2, 5);
+    expectDiag("u64 i;\nfor (i = 0; j < 4; i = i + 1) { }\n",
+               "for condition must test loop variable 'i'", 2, 13);
+    expectDiag("u64 i;\nu64 j;\nfor (i = 0; i < 4; j = j + 1) { }\n",
+               "for step must update loop variable 'i'", 3, 20);
+}
+
+TEST(FrontDiag, DiagnosticRenderFormat)
+{
+    front::Diagnostic d;
+    d.pos = {3, 7};
+    d.message = "boom";
+    EXPECT_EQ(d.render("k.sc"), "k.sc:3:7: error: boom");
+}
+
+// ---------------------------------------------------------------
+// Lowering semantics
+
+TEST(FrontLower, SecretPublicPartition)
+{
+    const front::CompiledProgram cp = mustCompile(
+        "secret u64 k;\npublic u64 p;\nu64 t;\n"
+        "public u64 tab[8];\nsecret u64 key[2];\n"
+        "t = tab[k & 7] + p;\n");
+    // Scalars get registers in declaration order from x0; unqualified
+    // scalars are zeroed locals, not pinned inputs.
+    EXPECT_EQ(cp.secretRegs, (std::vector<bir::Reg>{0}));
+    EXPECT_EQ(cp.publicRegs, (std::vector<bir::Reg>{1}));
+    ASSERT_EQ(cp.arrays.size(), 2u);
+    EXPECT_EQ(cp.arrays[0].name, "tab");
+    EXPECT_EQ(cp.arrays[0].base % 64, 0u);
+    EXPECT_EQ(cp.arrays[1].name, "key");
+    // Only the public array's words are pinned low across the pair.
+    EXPECT_EQ(cp.publicMemAddrs.size(), 8u);
+    for (std::uint64_t a : cp.publicMemAddrs)
+        EXPECT_EQ((a - cp.arrays[0].base) % 8, 0u);
+    EXPECT_TRUE(cp.program.validate().empty());
+}
+
+TEST(FrontLower, ForUnrollFoldsConstants)
+{
+    const front::CompiledProgram cp = mustCompile(
+        "u64 i;\nu64 acc;\n"
+        "for (i = 2; i < 8; i = i + 3) { acc = acc + i; }\n");
+    // movImm to i (x0): entry zero-init, iterations i = 2 and i = 5,
+    // then the post-loop value 8 — the loop is fully unrolled.
+    int movs_to_i = 0;
+    std::uint64_t last = 0;
+    for (const bir::Instr &ins : cp.program.instrs())
+        if (ins.kind == bir::InstrKind::MovImm && ins.rd == 0) {
+            ++movs_to_i;
+            last = ins.imm;
+        }
+    EXPECT_EQ(movs_to_i, 4);
+    EXPECT_EQ(last, 8u);
+    EXPECT_EQ(cp.program.branchCount(), 0);
+}
+
+TEST(FrontLower, IfLowersToFusedCompareAndBranch)
+{
+    const front::CompiledProgram cp = mustCompile(
+        "secret u64 s;\nu64 x;\n"
+        "if (s < 8) { x = 1; } else { x = 2; }\n");
+    EXPECT_EQ(cp.program.branchCount(), 1);
+    bool has_jump = false;
+    for (const bir::Instr &ins : cp.program.instrs())
+        has_jump |= ins.kind == bir::InstrKind::Jump;
+    EXPECT_TRUE(has_jump);
+    EXPECT_TRUE(cp.program.validate().empty());
+}
+
+// ---------------------------------------------------------------
+// Round-trip through bir/asm (the --emit-bir contract)
+
+TEST(FrontRoundTrip, CorpusKernelsRoundTripThroughAsm)
+{
+    for (const char *kernel : kKernels) {
+        const std::string src = readFile(
+            repoPath("examples/corpus/" + std::string(kernel) + ".sc"));
+        const front::CompiledProgram cp = mustCompile(src, kernel);
+        const bir::AsmResult back =
+            bir::assemble(cp.program.toString(), kernel);
+        ASSERT_TRUE(back.ok()) << kernel << ": " << back.error;
+        EXPECT_EQ(back.program, cp.program) << kernel;
+    }
+}
+
+TEST(FrontRoundTrip, RandomProgramsRoundTripThroughAsm)
+{
+    // Property: every program the lowerer can emit survives
+    // assemble(toString(p)) == p.  Random SC programs drawn from the
+    // full statement grammar.
+    const long iters =
+        envLong("SCAMV_FUZZ_ITERS", 1, 1000000).value_or(50);
+    std::mt19937_64 rng(0xf07u);
+    for (long it = 0; it < iters; ++it) {
+        std::ostringstream src;
+        src << "secret u64 k;\nu64 x;\nu64 i;\npublic u64 a[8];\n";
+        const int stmts = 1 + static_cast<int>(rng() % 4);
+        for (int s = 0; s < stmts; ++s) {
+            switch (rng() % 4) {
+              case 0:
+                src << "x = (x + " << rng() % 16 << ") & k;\n";
+                break;
+              case 1:
+                src << "x = a[(x ^ " << rng() % 8 << ") & 7];\n";
+                break;
+              case 2:
+                src << "if (x < " << rng() % 9
+                    << ") { x = x + 1; } else { a[x & 7] = k; }\n";
+                break;
+              default:
+                src << "for (i = 0; i < " << 1 + rng() % 3
+                    << "; i = i + 1) { x = x + a[i & 7]; }\n";
+                break;
+            }
+        }
+        const front::CompiledProgram cp =
+            mustCompile(src.str(), "rand");
+        const bir::AsmResult back =
+            bir::assemble(cp.program.toString(), "rand");
+        ASSERT_TRUE(back.ok())
+            << back.error << "\nsource:\n"
+            << src.str();
+        EXPECT_EQ(back.program, cp.program) << src.str();
+    }
+}
+
+// ---------------------------------------------------------------
+// Corpus loader
+
+TEST(FrontCorpus, LoadsDirectorySortedAndFromEnv)
+{
+    const std::vector<front::CompiledProgram> corpus =
+        front::loadCorpusDir(repoPath("examples/corpus"));
+    ASSERT_EQ(corpus.size(), 5u);
+    // Deterministic order: sorted by filename.
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        EXPECT_EQ(corpus[i].name, kKernels[i]);
+
+    setenv("SCAMV_CORPUS_DIR", repoPath("examples/corpus").c_str(),
+           1);
+    EXPECT_EQ(front::corpusFromEnv().size(), 5u);
+    unsetenv("SCAMV_CORPUS_DIR");
+
+    setenv("SCAMV_PROGRAM_FILE",
+           repoPath("examples/corpus/sbox.sc").c_str(), 1);
+    const auto single = front::corpusFromEnv();
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0].name, "sbox");
+    unsetenv("SCAMV_PROGRAM_FILE");
+
+    EXPECT_TRUE(front::corpusFromEnv().empty());
+    EXPECT_TRUE(
+        front::loadCorpusDir("/nonexistent/corpus").empty());
+}
+
+// ---------------------------------------------------------------
+// Mutation fuzzing (nightly lane scales SCAMV_FUZZ_ITERS)
+
+TEST(FrontFuzz, MutatedCorpusNeverCrashes)
+{
+    // Random byte-level mutations of real kernels: the frontend must
+    // either compile the mutant or return a positioned diagnostic —
+    // never crash, hang, or emit an invalid program.
+    std::vector<std::string> sources;
+    for (const char *kernel : kKernels)
+        sources.push_back(readFile(
+            repoPath("examples/corpus/" + std::string(kernel) +
+                     ".sc")));
+    const long iters =
+        envLong("SCAMV_FUZZ_ITERS", 1, 1000000).value_or(200);
+    std::mt19937_64 rng(0xc0ffee);
+    const std::string alphabet =
+        "abkxyz0189[](){};=+-*&|^<>! \n\tsecretpublicu64for";
+    for (long it = 0; it < iters; ++it) {
+        std::string src = sources[rng() % sources.size()];
+        const int edits = 1 + static_cast<int>(rng() % 8);
+        for (int e = 0; e < edits && !src.empty(); ++e) {
+            const std::size_t at = rng() % src.size();
+            switch (rng() % 3) {
+              case 0:
+                src[at] = alphabet[rng() % alphabet.size()];
+                break;
+              case 1:
+                src.erase(at, 1 + rng() % 3);
+                break;
+              default:
+                src.insert(at, 1,
+                           alphabet[rng() % alphabet.size()]);
+                break;
+            }
+        }
+        const front::CompileResult res = front::compile(src, "fuzz");
+        if (res.ok()) {
+            EXPECT_TRUE(res.compiled->program.validate().empty())
+                << "invalid program from:\n"
+                << src;
+        } else {
+            ASSERT_TRUE(res.error.has_value());
+            EXPECT_FALSE(res.error->message.empty());
+            EXPECT_GE(res.error->pos.line, 1);
+            EXPECT_GE(res.error->pos.col, 1);
+        }
+    }
+}
+
+TEST(FrontFuzz, DeepNestingIsRejectedNotOverflowed)
+{
+    // Pathological nesting must hit the depth guard, not the stack.
+    std::string deep = "u64 x;\nx = ";
+    for (int i = 0; i < 2000; ++i)
+        deep += "(";
+    deep += "1";
+    for (int i = 0; i < 2000; ++i)
+        deep += ")";
+    deep += ";\n";
+    const front::CompileResult res = front::compile(deep, "deep");
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.error->message.find("nested too deeply"),
+              std::string::npos);
+
+    std::string stmts = "u64 x;\n";
+    for (int i = 0; i < 2000; ++i)
+        stmts += "if (x < 1) { ";
+    stmts += "x = 1;";
+    for (int i = 0; i < 2000; ++i)
+        stmts += " }";
+    stmts += "\n";
+    const front::CompileResult res2 = front::compile(stmts, "deep");
+    ASSERT_FALSE(res2.ok());
+    EXPECT_NE(res2.error->message.find("nested too deeply"),
+              std::string::npos);
+}
